@@ -1,0 +1,69 @@
+// Command vswapper-report regenerates every table and figure of the
+// paper's evaluation in one run, printing each report and, with -o, also
+// writing the combined output to a file (the source of EXPERIMENTS.md's
+// measured numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vswapsim/internal/experiment"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 1.0, "size scale factor (1.0 = paper-sized)")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		out    = flag.String("o", "", "also write the combined report to this file")
+		only   = flag.String("only", "", "comma-free single experiment id filter")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *scale <= 0 || *scale > 16 {
+		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0, 16]\n", *scale)
+		os.Exit(2)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Quick: *quick}
+	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v)\n\n", *seed, *scale, *quick)
+	for _, e := range experiment.Registry {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		start := time.Now()
+		rep := e.Run(opts)
+		fmt.Fprint(w, rep.String())
+		fmt.Fprintf(w, "(%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			for i, tab := range rep.Tables {
+				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				if err := os.WriteFile(name, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		}
+	}
+}

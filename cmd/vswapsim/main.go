@@ -1,0 +1,53 @@
+// Command vswapsim runs one of the paper's experiments and prints its
+// tables.
+//
+// Usage:
+//
+//	vswapsim -list
+//	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vswapsim/internal/experiment"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "experiment id to run (e.g. fig3)")
+		scale = flag.Float64("scale", 1.0, "size scale factor (1.0 = paper-sized)")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	)
+	flag.Parse()
+	if *scale <= 0 || *scale > 16 {
+		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0, 16]\n", *scale)
+		os.Exit(2)
+	}
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.Registry {
+			fmt.Printf("  %-9s %-45s (%s)\n", e.ID, e.Title, e.PaperNote)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	e, err := experiment.ByID(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	rep := e.Run(experiment.Options{Seed: *seed, Scale: *scale, Quick: *quick})
+	fmt.Print(rep.String())
+	fmt.Printf("(generated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,63 @@
+package vswapsim_test
+
+import (
+	"fmt"
+
+	"vswapsim"
+)
+
+// Example_overcommit runs the paper's headline scenario: a guest that
+// believes it has four times its actual memory reads a file, with VSwapper
+// keeping uncooperative host swapping cheap.
+func Example_overcommit() {
+	m := vswapsim.NewMachine(vswapsim.MachineConfig{
+		Seed:         1,
+		HostMemPages: 1 << 30 / 4096,
+	})
+	vm := m.NewVM(vswapsim.VMConfig{
+		Name:       "guest0",
+		MemPages:   128 << 20 / 4096,
+		LimitPages: 32 << 20 / 4096,
+		DiskBlocks: 2 << 30 / 4096,
+		Mapper:     true,
+		Preventer:  true,
+		GuestAPF:   true,
+	})
+	m.Env.Go("driver", func(p *vswapsim.Proc) {
+		vm.Boot(p)
+		res := vswapsim.SeqRead(vm, vswapsim.SeqReadConfig{FileMB: 64}).Wait(p)
+		fmt.Println("completed:", !res.Killed)
+		m.Shutdown()
+	})
+	m.Run()
+	// Output: completed: true
+}
+
+// Example_experiment regenerates one of the paper's artifacts.
+func Example_experiment() {
+	rep, err := vswapsim.RunExperiment("tab1", vswapsim.ExperimentOptions{})
+	fmt.Println(err == nil, rep.ID)
+	// Output: true tab1
+}
+
+// Example_migrationPlan classifies a guest's pages for live migration
+// (the paper's §7 future work).
+func Example_migrationPlan() {
+	m := vswapsim.NewMachine(vswapsim.MachineConfig{Seed: 1, HostMemPages: 1 << 30 / 4096})
+	vm := m.NewVM(vswapsim.VMConfig{
+		Name:       "guest0",
+		MemPages:   64 << 20 / 4096,
+		DiskBlocks: 1 << 30 / 4096,
+		Mapper:     true,
+		GuestAPF:   true,
+	})
+	m.Env.Go("driver", func(p *vswapsim.Proc) {
+		vm.Boot(p)
+		vswapsim.SeqRead(vm, vswapsim.SeqReadConfig{FileMB: 16}).Wait(p)
+		plan := vm.PlanMigration()
+		fmt.Println("mapping-only beats copying:", plan.TransferBytes() < plan.NaiveTransferBytes())
+		m.Shutdown()
+	})
+	m.Run()
+	// Output: mapping-only beats copying: true
+}

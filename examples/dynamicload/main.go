@@ -1,0 +1,73 @@
+// Dynamicload: the paper's §5.2 scenario — several MapReduce guests start
+// ten seconds apart on an overcommitted host while a MOM-like balloon
+// manager adjusts balloons. Ballooning alone reacts too slowly; VSwapper
+// keeps the fallback path cheap.
+//
+//	go run ./examples/dynamicload
+package main
+
+import (
+	"fmt"
+
+	"vswapsim"
+)
+
+func run(label string, useVSwapper, useBalloonMgr bool) {
+	const guests = 4
+	m := vswapsim.NewMachine(vswapsim.MachineConfig{
+		Seed:         11,
+		HostMemPages: 2560 << 20 / 4096, // 2.5 GiB host for 4 x 1 GiB guests
+	})
+	vms := make([]*vswapsim.VM, guests)
+	for i := range vms {
+		vms[i] = m.NewVM(vswapsim.VMConfig{
+			Name:       fmt.Sprintf("guest%d", i),
+			MemPages:   1 << 30 / 4096, // 1 GiB each: overcommitted
+			VCPUs:      2,
+			DiskBlocks: 20 << 30 / 4096,
+			Mapper:     useVSwapper,
+			Preventer:  useVSwapper,
+			GuestAPF:   true,
+		})
+	}
+	var mgr *vswapsim.BalloonManager
+	if useBalloonMgr {
+		mgr = vswapsim.NewBalloonManager(m, vswapsim.BalloonConfig{})
+	}
+
+	var mean vswapsim.Duration
+	m.Env.Go("driver", func(p *vswapsim.Proc) {
+		for _, vm := range vms {
+			vm.Boot(p)
+		}
+		if mgr != nil {
+			mgr.Start()
+		}
+		jobs := make([]*vswapsim.Job, guests)
+		for i, vm := range vms {
+			jobs[i] = vswapsim.Metis(vm, vswapsim.MetisConfig{InputMB: 150, TableMB: 512})
+			if i < guests-1 {
+				p.Sleep(10 * vswapsim.Second)
+			}
+		}
+		var total vswapsim.Duration
+		for _, j := range jobs {
+			total += j.Wait(p).Runtime()
+		}
+		mean = total / guests
+		if mgr != nil {
+			mgr.Stop()
+		}
+		m.Shutdown()
+	})
+	m.Run()
+	fmt.Printf("%-28s mean guest runtime %6.1fs\n", label, mean.Seconds())
+}
+
+func main() {
+	fmt.Println("4 phased MapReduce guests (1GB each) on a 2.5GB host")
+	run("balloon manager only:", false, true)
+	run("baseline swapping only:", false, false)
+	run("vswapper only:", true, false)
+	run("balloon + vswapper:", true, true)
+}

@@ -1,0 +1,3 @@
+module vswapsim
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package balloon implements a MOM-like balloon manager (paper §5.2): a
+// host daemon that periodically samples host and guest memory statistics
+// and adjusts each guest's balloon target. Its value — and its latency
+// under changing load — are what Figs. 4 and 14 measure.
+package balloon
+
+import (
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+)
+
+// Config tunes the manager's control loop.
+type Config struct {
+	// Interval between samples (MOM default: 1 s).
+	Interval sim.Duration
+	// PressureThreshold: below this fraction of free host memory the
+	// manager starts inflating balloons.
+	PressureThreshold float64
+	// ReliefThreshold: above this fraction it deflates.
+	ReliefThreshold float64
+	// GuestReserve is the fraction of its memory a guest always keeps.
+	GuestReserve float64
+	// StepFraction bounds how much of a guest's memory the target may
+	// move per interval — the source of ballooning's sluggishness.
+	StepFraction float64
+}
+
+// DefaultConfig mirrors MOM's shipped policy knobs.
+func DefaultConfig() Config {
+	return Config{
+		Interval:          sim.Second,
+		PressureThreshold: 0.20,
+		ReliefThreshold:   0.30,
+		GuestReserve:      0.05,
+		StepFraction:      0.05,
+	}
+}
+
+// Manager is the balloon controller for one machine.
+type Manager struct {
+	M    *hyper.Machine
+	Cfg  Config
+	stop bool
+}
+
+// New creates a manager; call Start to launch its control loop.
+func New(m *hyper.Machine, cfg Config) *Manager {
+	d := DefaultConfig()
+	if cfg.Interval == 0 {
+		cfg.Interval = d.Interval
+	}
+	if cfg.PressureThreshold == 0 {
+		cfg.PressureThreshold = d.PressureThreshold
+	}
+	if cfg.ReliefThreshold == 0 {
+		cfg.ReliefThreshold = d.ReliefThreshold
+	}
+	if cfg.GuestReserve == 0 {
+		cfg.GuestReserve = d.GuestReserve
+	}
+	if cfg.StepFraction == 0 {
+		cfg.StepFraction = d.StepFraction
+	}
+	return &Manager{M: m, Cfg: cfg}
+}
+
+// Start launches the control loop as a simulated daemon.
+func (mgr *Manager) Start() {
+	mgr.M.Env.Go("mom", func(p *sim.Proc) {
+		for !mgr.stop {
+			mgr.tick()
+			p.Sleep(mgr.Cfg.Interval)
+		}
+	})
+}
+
+// Stop ends the control loop at its next tick.
+func (mgr *Manager) Stop() { mgr.stop = true }
+
+// tick is one control decision: sample host pressure, then nudge each
+// guest's balloon target.
+func (mgr *Manager) tick() {
+	pool := mgr.M.Pool
+	freeRatio := float64(pool.Free()) / float64(pool.Capacity())
+	for _, vm := range mgr.M.VMs {
+		total := vm.Cfg.MemPages
+		step := int(float64(total) * mgr.Cfg.StepFraction)
+		reserve := int(float64(total) * mgr.Cfg.GuestReserve)
+		cur := vm.OS.BalloonTarget()
+		visible := total - vm.OS.BalloonPages()
+		guestFreeFrac := 1.0
+		if visible > 0 {
+			guestFreeFrac = float64(vm.OS.FreePages()) / float64(visible)
+		}
+		switch {
+		case guestFreeFrac < 0.10 && cur > 0:
+			// The guest itself is squeezed: give memory back first (MOM
+			// balances guest pressure against host pressure).
+			shrink := step
+			if shrink > cur {
+				shrink = cur
+			}
+			vm.OS.SetBalloonTarget(cur - shrink)
+		case freeRatio < mgr.Cfg.PressureThreshold && guestFreeFrac > 0.20:
+			// Take the guest's unused memory, leaving a small reserve.
+			idle := vm.OS.FreePages() - reserve
+			grow := idle
+			if grow > step {
+				grow = step
+			}
+			if grow > 0 {
+				vm.OS.SetBalloonTarget(cur + grow)
+			}
+		case freeRatio > mgr.Cfg.ReliefThreshold && cur > 0:
+			// Give memory back gradually.
+			shrink := step
+			if shrink > cur {
+				shrink = cur
+			}
+			vm.OS.SetBalloonTarget(cur - shrink)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"vswapsim/internal/hostmm"
+	"vswapsim/internal/sim"
+)
+
+// TestPreventerConcurrentWritersAndReaders drives one emulated page from
+// several processes at once: a sequential writer, a reader of covered
+// bytes, and a reader of uncovered bytes that must block until the merge.
+func TestPreventerConcurrentWritersAndReaders(t *testing.T) {
+	r := newRig(t)
+	pg := r.swappedPage(t, 0)
+	var readerDone sim.Time
+	r.env.Go("writer", func(p *sim.Proc) {
+		if !r.pv.HandleWriteFault(p, pg, 0, 512, false) {
+			t.Error("emulation refused")
+			return
+		}
+		for off := 512; off < 2048; off += 512 {
+			p.Sleep(50 * sim.Microsecond)
+			if pg.State != hostmm.Emulated {
+				return
+			}
+			r.pv.OnAccess(p, pg, true, off, 512, false)
+		}
+	})
+	r.env.Go("covered-reader", func(p *sim.Proc) {
+		p.Sleep(120 * sim.Microsecond)
+		if pg.State == hostmm.Emulated {
+			r.pv.OnAccess(p, pg, false, 0, 256, false)
+			if pg.State != hostmm.Emulated {
+				t.Error("covered read ended emulation")
+			}
+		}
+	})
+	r.env.Go("uncovered-reader", func(p *sim.Proc) {
+		p.Sleep(200 * sim.Microsecond)
+		if pg.State == hostmm.Emulated {
+			r.pv.OnAccess(p, pg, false, 3000, 64, false)
+		}
+		readerDone = p.Now()
+		if pg.State == hostmm.Emulated {
+			t.Error("uncovered reader resumed while still emulated")
+		}
+	})
+	r.env.Run()
+	if pg.State != hostmm.ResidentAnon {
+		t.Fatalf("final state %v", pg.State)
+	}
+	if readerDone == 0 {
+		t.Fatal("uncovered reader never finished")
+	}
+}
+
+// TestPreventerDoubleForceFinalize checks idempotence when two paths force
+// the same page.
+func TestPreventerDoubleForceFinalize(t *testing.T) {
+	r := newRig(t)
+	pg := r.swappedPage(t, 0)
+	r.env.Go("a", func(p *sim.Proc) {
+		r.pv.HandleWriteFault(p, pg, 0, 64, false)
+	})
+	r.env.Go("b", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		r.pv.ForceFinalize(p, pg, true)
+	})
+	r.env.Go("c", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		if pg.State == hostmm.Emulated {
+			r.pv.ForceFinalize(p, pg, true)
+		}
+	})
+	r.env.Run()
+	if pg.State != hostmm.ResidentAnon {
+		t.Fatalf("state %v", pg.State)
+	}
+	if r.pv.Active() != 0 {
+		t.Fatalf("active = %d", r.pv.Active())
+	}
+}
+
+// TestPreventerDeadlineDuringActiveWrites ensures the deadline merge does
+// not corrupt a page whose writer is still making progress: the writer's
+// next access after finalization goes through the normal resident path.
+func TestPreventerDeadlineDuringActiveWrites(t *testing.T) {
+	r := newRig(t)
+	pg := r.swappedPage(t, 0)
+	r.env.Go("slow-writer", func(p *sim.Proc) {
+		r.pv.HandleWriteFault(p, pg, 0, 64, false)
+		// Write again only after the 1 ms deadline has passed.
+		p.Sleep(5 * sim.Millisecond)
+		if pg.State == hostmm.Emulated {
+			r.pv.OnAccess(p, pg, true, 64, 64, false)
+		}
+	})
+	r.env.Run()
+	if pg.State != hostmm.ResidentAnon {
+		t.Fatalf("state %v", pg.State)
+	}
+}

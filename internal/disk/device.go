@@ -1,0 +1,92 @@
+package disk
+
+import (
+	"fmt"
+
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// Kind distinguishes reads from writes for accounting.
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Device is a single physical drive with a first-come-first-served queue.
+// Requests are timed analytically: because service order equals submission
+// order, the completion time of a request is fully determined at submission
+// (max(now, device-free) plus position-dependent service time), which keeps
+// the simulation deterministic and fast.
+type Device struct {
+	env     *sim.Env
+	model   LatencyModel
+	met     *metrics.Set
+	headPos int64    // next sequential block after the last transfer
+	freeAt  sim.Time // when the device finishes its queued work
+}
+
+// NewDevice returns a drive using the given latency model. Metrics may be
+// nil to disable accounting.
+func NewDevice(env *sim.Env, model LatencyModel, met *metrics.Set) *Device {
+	if met == nil {
+		met = metrics.NewSet()
+	}
+	return &Device{env: env, model: model, met: met}
+}
+
+// Submit enqueues a transfer of nblocks starting at block `start` and
+// returns its completion time without blocking. Use it for asynchronous
+// I/O such as readahead.
+func (d *Device) Submit(kind Kind, start int64, nblocks int) sim.Time {
+	if nblocks <= 0 {
+		panic(fmt.Sprintf("disk: submit %d blocks", nblocks))
+	}
+	if start < 0 || start+int64(nblocks) > d.model.TotalBlocks {
+		panic(fmt.Sprintf("disk: access [%d,+%d) out of range", start, nblocks))
+	}
+	arrive := d.env.Now()
+	begin := d.freeAt
+	if arrive > begin {
+		begin = arrive
+	}
+	svc := d.model.Service(d.headPos, start, nblocks)
+	done := begin.Add(svc)
+	d.freeAt = done
+	d.headPos = start + int64(nblocks)
+
+	d.met.Inc(metrics.DiskOps)
+	d.met.Add(metrics.DiskBusy, int64(svc))
+	sectors := int64(nblocks) * SectorsPerBlock
+	if kind == Read {
+		d.met.Add(metrics.DiskReadSectors, sectors)
+	} else {
+		d.met.Add(metrics.DiskWriteSectors, sectors)
+	}
+	return done
+}
+
+// Access performs a blocking transfer on behalf of process p: it submits
+// the request and sleeps until the device completes it.
+func (d *Device) Access(p *sim.Proc, kind Kind, start int64, nblocks int) {
+	done := d.Submit(kind, start, nblocks)
+	p.SleepUntil(done)
+}
+
+// FreeAt reports when the device drains its current queue.
+func (d *Device) FreeAt() sim.Time { return d.freeAt }
+
+// HeadPos reports the block following the last transferred block.
+func (d *Device) HeadPos() int64 { return d.headPos }
+
+// Metrics returns the accounting set the device writes to.
+func (d *Device) Metrics() *metrics.Set { return d.met }

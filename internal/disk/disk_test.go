@@ -1,0 +1,202 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+func testModel() LatencyModel { return Constellation7200() }
+
+func TestSeekMonotonic(t *testing.T) {
+	m := testModel()
+	prev := sim.Duration(0)
+	for d := int64(1); d < m.TotalBlocks; d *= 4 {
+		s := m.SeekCost(0, d)
+		if s < prev {
+			t.Fatalf("seek(%d) = %v < seek(previous) = %v", d, s, prev)
+		}
+		prev = s
+	}
+	if m.SeekCost(0, 0) != 0 {
+		t.Fatal("zero-distance seek should be free")
+	}
+}
+
+func TestSeekSymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b uint32) bool {
+		m := testModel()
+		x, y := int64(a), int64(b)
+		return m.SeekCost(x, y) == m.SeekCost(y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekBounds(t *testing.T) {
+	m := testModel()
+	if got := m.SeekCost(0, 1); got < m.TrackToTrackSeek {
+		t.Fatalf("short seek %v below track-to-track %v", got, m.TrackToTrackSeek)
+	}
+	if got := m.SeekCost(0, m.TotalBlocks); got != m.FullStrokeSeek {
+		t.Fatalf("full stroke = %v, want %v", got, m.FullStrokeSeek)
+	}
+	if got := m.SeekCost(0, m.TotalBlocks/3); got != m.AverageSeek {
+		t.Fatalf("third stroke = %v, want %v", got, m.AverageSeek)
+	}
+}
+
+func TestSequentialVsRandomService(t *testing.T) {
+	m := testModel()
+	seq := m.Service(1000, 1000, 8)
+	rnd := m.Service(1000, 500000, 8)
+	if seq >= rnd {
+		t.Fatalf("sequential %v should be cheaper than random %v", seq, rnd)
+	}
+	if seq != 8*m.PerBlockTransfer {
+		t.Fatalf("sequential = %v, want pure transfer %v", seq, 8*m.PerBlockTransfer)
+	}
+}
+
+func TestDeviceSequentialStream(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	d := NewDevice(env, testModel(), met)
+	var done sim.Time
+	env.Go("io", func(p *sim.Proc) {
+		// First request seeks; the next 9 stream.
+		for i := 0; i < 10; i++ {
+			d.Access(p, Read, int64(1000+8*i), 8)
+		}
+		done = p.Now()
+	})
+	env.Run()
+	m := testModel()
+	want := m.Service(0, 1000, 8) + 9*8*m.PerBlockTransfer
+	if done != sim.Time(want) {
+		t.Fatalf("stream done at %v, want %v", done, sim.Time(want))
+	}
+	if met.Get(metrics.DiskOps) != 10 {
+		t.Fatalf("ops = %d, want 10", met.Get(metrics.DiskOps))
+	}
+	if met.Get(metrics.DiskReadSectors) != 10*8*SectorsPerBlock {
+		t.Fatalf("read sectors = %d", met.Get(metrics.DiskReadSectors))
+	}
+}
+
+func TestDeviceFCFSQueueing(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDevice(env, testModel(), nil)
+	var first, second sim.Time
+	env.Go("a", func(p *sim.Proc) {
+		d.Access(p, Read, 1000, 8)
+		first = p.Now()
+	})
+	env.Go("b", func(p *sim.Proc) {
+		d.Access(p, Read, 900000, 8)
+		second = p.Now()
+	})
+	env.Run()
+	if second <= first {
+		t.Fatalf("second request (%v) must complete after first (%v)", second, first)
+	}
+	m := testModel()
+	if first != sim.Time(m.Service(0, 1000, 8)) {
+		t.Fatalf("first done at %v", first)
+	}
+}
+
+func TestDeviceAsyncSubmit(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDevice(env, testModel(), nil)
+	env.Go("ra", func(p *sim.Proc) {
+		t1 := d.Submit(Read, 1000, 32)
+		if p.Now() != 0 {
+			t.Error("Submit must not block")
+		}
+		if t1 != d.FreeAt() {
+			t.Error("completion should match FreeAt")
+		}
+	})
+	env.Run()
+}
+
+func TestDeviceWriteAccounting(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	d := NewDevice(env, testModel(), met)
+	env.Go("w", func(p *sim.Proc) { d.Access(p, Write, 0, 4) })
+	env.Run()
+	if met.Get(metrics.DiskWriteSectors) != 4*SectorsPerBlock {
+		t.Fatalf("write sectors = %d", met.Get(metrics.DiskWriteSectors))
+	}
+	if met.Get(metrics.DiskReadSectors) != 0 {
+		t.Fatal("unexpected read sectors")
+	}
+}
+
+func TestDeviceOutOfRangePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	d := NewDevice(env, testModel(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Submit(Read, testModel().TotalBlocks-1, 2)
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	l := NewLayout(testModel().TotalBlocks)
+	a := l.Reserve("img0", 1<<20)
+	b := l.Reserve("img1", 1<<20)
+	c := l.Reserve("swap", 1<<18)
+	regions := []Region{a, b, c}
+	for i := range regions {
+		for j := range regions {
+			if i == j {
+				continue
+			}
+			if regions[i].Contains(regions[j].Start) {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	if got, ok := l.Region("swap"); !ok || got != c {
+		t.Fatal("lookup failed")
+	}
+}
+
+func TestRegionTranslation(t *testing.T) {
+	r := Region{Name: "x", Start: 5000, Blocks: 100}
+	if err := quick.Check(func(relRaw uint16) bool {
+		rel := int64(relRaw % 100)
+		phys := r.Phys(rel)
+		return r.Contains(phys) && r.Rel(phys) == rel
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionPhysOutOfRangePanics(t *testing.T) {
+	r := Region{Name: "x", Start: 0, Blocks: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Phys(10)
+}
+
+func TestLayoutDuplicatePanics(t *testing.T) {
+	l := NewLayout(1 << 30)
+	l.Reserve("a", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Reserve("a", 10)
+}

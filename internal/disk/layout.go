@@ -1,0 +1,69 @@
+package disk
+
+import "fmt"
+
+// Region is a named contiguous block range on the physical drive, e.g. one
+// guest's disk image or the host swap partition.
+type Region struct {
+	Name   string
+	Start  int64 // first physical block
+	Blocks int64 // length in blocks
+}
+
+// Contains reports whether physical block b falls inside the region.
+func (r Region) Contains(b int64) bool {
+	return b >= r.Start && b < r.Start+r.Blocks
+}
+
+// Phys translates a region-relative block number to a physical block.
+func (r Region) Phys(rel int64) int64 {
+	if rel < 0 || rel >= r.Blocks {
+		panic(fmt.Sprintf("disk: block %d outside region %q (%d blocks)", rel, r.Name, r.Blocks))
+	}
+	return r.Start + rel
+}
+
+// Rel translates a physical block back to a region-relative block number.
+func (r Region) Rel(phys int64) int64 {
+	if !r.Contains(phys) {
+		panic(fmt.Sprintf("disk: physical block %d outside region %q", phys, r.Name))
+	}
+	return phys - r.Start
+}
+
+// Layout carves a drive into non-overlapping regions, mimicking how guest
+// image files and the host swap partition occupy disjoint areas of the
+// physical disk.
+type Layout struct {
+	total int64
+	next  int64
+	names map[string]Region
+}
+
+// NewLayout returns a layout over a drive of the given capacity in blocks.
+func NewLayout(totalBlocks int64) *Layout {
+	return &Layout{total: totalBlocks, names: make(map[string]Region)}
+}
+
+// Reserve allocates the next `blocks` blocks under `name`. Regions are laid
+// out in reservation order from block 0 with a small gap between them so
+// that cross-region access always costs a seek.
+func (l *Layout) Reserve(name string, blocks int64) Region {
+	const gap = 1 << 16 // 256 MB gap in 4 KiB blocks
+	if _, dup := l.names[name]; dup {
+		panic(fmt.Sprintf("disk: duplicate region %q", name))
+	}
+	if l.next+blocks > l.total {
+		panic(fmt.Sprintf("disk: layout overflow reserving %q (%d blocks)", name, blocks))
+	}
+	r := Region{Name: name, Start: l.next, Blocks: blocks}
+	l.names[name] = r
+	l.next += blocks + gap
+	return r
+}
+
+// Region looks up a reservation by name.
+func (l *Layout) Region(name string) (Region, bool) {
+	r, ok := l.names[name]
+	return r, ok
+}

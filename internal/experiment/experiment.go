@@ -1,0 +1,308 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§5): each experiment builds the machine/guest configuration
+// the paper describes, runs the matching workload generator under the five
+// schemes (baseline, ballooning, mapper-only, vswapper, balloon+vswapper),
+// and reports the same rows/series the paper plots.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/workload"
+)
+
+// Scheme is one of the five configurations evaluated in the paper (§5).
+type Scheme int
+
+const (
+	// Baseline relies solely on uncooperative host swapping.
+	Baseline Scheme = iota
+	// BalloonBase employs ballooning, falling back on baseline swapping.
+	BalloonBase
+	// MapperOnly is VSwapper without the False Reads Preventer.
+	MapperOnly
+	// VSwapper is the Swap Mapper plus the Preventer.
+	VSwapper
+	// BalloonVSwapper combines ballooning with VSwapper.
+	BalloonVSwapper
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case BalloonBase:
+		return "balloon+base"
+	case MapperOnly:
+		return "mapper"
+	case VSwapper:
+		return "vswapper"
+	case BalloonVSwapper:
+		return "balloon+vswap"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// mapper/preventer/balloon report which components a scheme enables.
+func (s Scheme) mapper() bool    { return s == MapperOnly || s == VSwapper || s == BalloonVSwapper }
+func (s Scheme) preventer() bool { return s == VSwapper || s == BalloonVSwapper }
+func (s Scheme) balloon() bool   { return s == BalloonBase || s == BalloonVSwapper }
+
+// Options controls experiment execution.
+type Options struct {
+	// Seed drives all randomness (default 42).
+	Seed uint64
+	// Scale multiplies all memory/file sizes; 1.0 is paper-sized. Tests
+	// use smaller scales for speed.
+	Scale float64
+	// Quick trims sweep points / guest counts for smoke runs.
+	Quick bool
+}
+
+func (o Options) normalized() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// mb scales a paper-specified megabyte figure.
+func (o Options) mb(v int) int {
+	s := int(float64(v) * o.Scale)
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// pages converts scaled MiB to pages.
+func (o Options) pages(v int) int { return o.mb(v) << 20 / 4096 }
+
+// Table is a formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID        string
+	Title     string
+	PaperNote string
+	Tables    []*Table
+	Notes     []string
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperNote != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperNote)
+	}
+	b.WriteByte('\n')
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID        string
+	Title     string
+	PaperNote string
+	Run       func(Options) *Report
+}
+
+// secs formats a virtual duration as seconds.
+func secs(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()) }
+
+// mins formats a virtual duration as minutes.
+func mins(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()/60) }
+
+// runCfg describes one single-guest controlled-memory run (paper §5.1).
+type runCfg struct {
+	opts     Options
+	scheme   Scheme
+	guestMB  int // believed memory (pre-scale)
+	actualMB int // cgroup allocation (pre-scale)
+	hostMB   int // physical host memory (0 = 8x actual, min 2 GiB equiv)
+	vcpus    int
+	warmup   bool
+	// balloonMarginMB is added to the static balloon so kernel + QEMU
+	// overhead fits under the cgroup limit (pre-scale).
+	balloonMarginMB int
+	guestTweak      func(*guest.Config)
+	vmTweak         func(*hyper.VMConfig)
+	hostTweak       func(*hyper.MachineConfig)
+}
+
+// runOut is a completed run.
+type runOut struct {
+	res workload.Result
+	met map[string]int64 // counter deltas over the measured body
+	m   *hyper.Machine
+	vm  *hyper.VM
+}
+
+// runSingle executes one controlled-memory scenario: boot, optional static
+// balloon, optional warm-up, then the measured body.
+func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) runOut {
+	o := rc.opts.normalized()
+	if rc.vcpus == 0 {
+		rc.vcpus = 1
+	}
+	if rc.balloonMarginMB == 0 {
+		rc.balloonMarginMB = 16
+	}
+	hostMB := rc.hostMB
+	if hostMB == 0 {
+		hostMB = 4 * rc.guestMB
+	}
+	mc := hyper.MachineConfig{
+		Seed:         o.Seed,
+		HostMemPages: o.pages(hostMB),
+	}
+	if rc.hostTweak != nil {
+		rc.hostTweak(&mc)
+	}
+	m := hyper.NewMachine(mc)
+	gcfg := guest.DefaultConfig(o.pages(rc.guestMB))
+	if rc.guestTweak != nil {
+		rc.guestTweak(&gcfg)
+	}
+	vmc := hyper.VMConfig{
+		Name:       "vm0",
+		MemPages:   o.pages(rc.guestMB),
+		LimitPages: o.pages(rc.actualMB),
+		VCPUs:      rc.vcpus,
+		DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
+		Mapper:     rc.scheme.mapper(),
+		Preventer:  rc.scheme.preventer(),
+		GuestAPF:   true,
+		Guest:      &gcfg,
+	}
+	if rc.actualMB >= rc.guestMB {
+		vmc.LimitPages = 0 // uncapped
+	}
+	if rc.vmTweak != nil {
+		rc.vmTweak(&vmc)
+	}
+	vm := m.NewVM(vmc)
+
+	out := runOut{m: m, vm: vm}
+	m.Env.Go("driver", func(p *sim.Proc) {
+		vm.Boot(p)
+		if rc.scheme.balloon() && vmc.LimitPages > 0 {
+			target := vmc.MemPages - vmc.LimitPages + o.pages(rc.balloonMarginMB)
+			vm.OS.SetBalloonTarget(target)
+			for vm.OS.BalloonPages() < vm.OS.BalloonTarget() {
+				p.Sleep(100 * sim.Millisecond)
+			}
+		}
+		if rc.warmup {
+			workload.Warmup(vm, 2048).Wait(p)
+		}
+		snap := m.Met.Snapshot()
+		job := body(vm, p)
+		out.res = job.Wait(p)
+		out.met = m.Met.Diff(snap)
+		m.Shutdown()
+	})
+	m.Run()
+	return out
+}
+
+// runtimeOrKilled renders a result cell, flagging OOM kills the way the
+// paper annotates crashed balloon runs.
+func runtimeOrKilled(r workload.Result) string {
+	if r.Killed {
+		return "killed"
+	}
+	return secs(r.Runtime())
+}

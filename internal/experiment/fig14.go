@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+
+	"vswapsim/internal/balloon"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/workload"
+)
+
+// runDynamic executes the §5.2 dynamic scenario: n guests (2 GB, 2 VCPUs)
+// on an 8 GB host run Metis word-count, started 10 seconds apart. Balloon
+// schemes are managed by the MOM-like controller. It returns the mean
+// guest runtime and how many guests were OOM-killed.
+func runDynamic(o Options, scheme Scheme, n int) (sim.Duration, int) {
+	o = o.normalized()
+	m := hyper.NewMachine(hyper.MachineConfig{
+		Seed:         o.Seed,
+		HostMemPages: o.pages(8 * 1024),
+	})
+	vms := make([]*hyper.VM, n)
+	for i := range vms {
+		vms[i] = m.NewVM(hyper.VMConfig{
+			Name:       fmt.Sprintf("vm%d", i),
+			MemPages:   o.pages(2 * 1024),
+			VCPUs:      2,
+			DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
+			Mapper:     scheme.mapper(),
+			Preventer:  scheme.preventer(),
+			GuestAPF:   true,
+		})
+	}
+	var mgr *balloon.Manager
+	if scheme.balloon() {
+		mgr = balloon.New(m, balloon.Config{})
+	}
+
+	var total sim.Duration
+	killed := 0
+	m.Env.Go("driver", func(p *sim.Proc) {
+		for _, vm := range vms {
+			vm.Boot(p)
+		}
+		if mgr != nil {
+			mgr.Start()
+		}
+		jobs := make([]*workload.Job, n)
+		for i, vm := range vms {
+			jobs[i] = workload.Metis(vm, workload.MetisConfig{
+				InputMB: o.mb(300),
+				TableMB: o.mb(1024),
+			})
+			if i < n-1 {
+				p.Sleep(10 * sim.Second)
+			}
+		}
+		for _, j := range jobs {
+			r := j.Wait(p)
+			total += r.Runtime()
+			if r.Killed {
+				killed++
+			}
+		}
+		if mgr != nil {
+			mgr.Stop()
+		}
+		m.Shutdown()
+	})
+	m.Run()
+	return total / sim.Duration(n), killed
+}
+
+// dynamicSchemes is the Fig. 14 configuration set in plot order.
+var dynamicSchemes = []Scheme{BalloonBase, Baseline, VSwapper, BalloonVSwapper}
+
+// Fig14 reproduces the phased MapReduce scale-up.
+func Fig14(o Options) *Report {
+	o = o.normalized()
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if o.Quick {
+		counts = []int{1, 4, 7, 10}
+	}
+	rep := &Report{
+		ID:        "fig14",
+		Title:     "Phased Metis MapReduce guests on an 8GB host (Fig. 14)",
+		PaperNote: "pressure from ~7 guests; balloon-only up to 1.84x and baseline up to 1.79x slower than balloon+vswapper; vswapper within 1.11x",
+	}
+	tab := &Table{Title: "mean guest runtime [sec]", Columns: []string{"guests"}}
+	for _, s := range dynamicSchemes {
+		tab.Columns = append(tab.Columns, s.String())
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range dynamicSchemes {
+			mean, killed := runDynamic(o, s, n)
+			cell := secs(mean)
+			if killed > 0 {
+				cell += fmt.Sprintf(" (%d killed)", killed)
+			}
+			row = append(row, cell)
+		}
+		tab.Add(row...)
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep
+}
+
+// Fig4 is the paper's motivational preview of Fig. 14 at ten guests.
+func Fig4(o Options) *Report {
+	o = o.normalized()
+	n := 10
+	if o.Quick {
+		n = 4
+	}
+	rep := &Report{
+		ID:        "fig4",
+		Title:     "Average completion of ten phased MapReduce guests (Fig. 4)",
+		PaperNote: "baseline 153s, balloon+base 167s, vswapper 88s, balloon+vswapper 97s",
+	}
+	paper := map[Scheme]string{
+		Baseline: "153", BalloonBase: "167", VSwapper: "88", BalloonVSwapper: "97",
+	}
+	tab := &Table{Title: "avg runtime [sec]", Columns: []string{"config", "runtime", "paper"}}
+	for _, s := range []Scheme{Baseline, BalloonBase, VSwapper, BalloonVSwapper} {
+		mean, killed := runDynamic(o, s, n)
+		cell := secs(mean)
+		if killed > 0 {
+			cell += fmt.Sprintf(" (%d killed)", killed)
+		}
+		tab.Add(s.String(), cell, paper[s])
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/workload"
+)
+
+// Fig3 reproduces the headline example: sequentially reading a 200 MB file
+// within a guest that believes it has 512 MB but is allocated 100 MB.
+func Fig3(o Options) *Report {
+	o = o.normalized()
+	rep := &Report{
+		ID:        "fig3",
+		Title:     "200MB sequential file read, 512MB guest on 100MB (Fig. 3)",
+		PaperNote: "baseline 38.7s, balloon+base 3.1s, vswapper 4.0s, balloon+vswapper 3.1s",
+	}
+	tab := &Table{
+		Title:   "runtime [sec]",
+		Columns: []string{"config", "runtime", "paper"},
+	}
+	paper := map[Scheme]string{
+		Baseline: "38.7", BalloonBase: "3.1", VSwapper: "4.0", BalloonVSwapper: "3.1",
+	}
+	for _, s := range []Scheme{Baseline, BalloonBase, VSwapper, BalloonVSwapper} {
+		out := runSingle(runCfg{
+			opts: o, scheme: s,
+			guestMB: 512, actualMB: 100,
+			warmup: true,
+		}, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+			return workload.SeqRead(vm, workload.SeqReadConfig{FileMB: o.mb(200)})
+		})
+		tab.Add(s.String(), runtimeOrKilled(out.res), paper[s])
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/workload"
+)
+
+// Fig9 reproduces the pathology demonstration: Sysbench iteratively reads
+// a 200 MB file inside a 100 MB guest believing it has 512 MB. Four panels:
+// (a) per-iteration runtime; (b) page faults while host code runs (stale
+// reads + false anonymity); (c) page faults while guest code runs (decayed
+// sequentiality); (d) sectors written to host swap (silent writes).
+func Fig9(o Options) *Report {
+	o = o.normalized()
+	iters := 8
+	if o.Quick {
+		iters = 4
+	}
+	rep := &Report{
+		ID:        "fig9",
+		Title:     "Sysbench iterative 200MB read: pathology panels (Fig. 9)",
+		PaperNote: "baseline: U-shaped runtime 40s→20s→40s; vswapper flat and low; faults and silent writes high for baseline only",
+	}
+	schemes := []Scheme{Baseline, VSwapper, BalloonBase}
+
+	type panel struct {
+		title string
+		data  map[Scheme][]string
+	}
+	panels := []panel{
+		{title: "(a) runtime [sec]"},
+		{title: "(b) host-context page faults [1000s]"},
+		{title: "(c) guest-context page faults [1000s]"},
+		{title: "(d) host swap write sectors [1000s]"},
+	}
+	for i := range panels {
+		panels[i].data = make(map[Scheme][]string)
+	}
+
+	for _, s := range schemes {
+		s := s
+		var lastSnap map[string]int64
+		out := runSingle(runCfg{
+			opts: o, scheme: s,
+			guestMB: 512, actualMB: 100,
+			warmup: true,
+		}, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+			lastSnap = vm.M.Met.Snapshot()
+			return workload.SeqRead(vm, workload.SeqReadConfig{
+				FileMB:     o.mb(200),
+				Iterations: iters,
+				AfterIteration: func(i int) {
+					d := vm.M.Met.Diff(lastSnap)
+					lastSnap = vm.M.Met.Snapshot()
+					panels[1].data[s] = append(panels[1].data[s],
+						fmt.Sprintf("%.1f", float64(d[metrics.HostFaultsInHost])/1000))
+					panels[2].data[s] = append(panels[2].data[s],
+						fmt.Sprintf("%.1f", float64(d[metrics.HostMajorInGuest])/1000))
+					panels[3].data[s] = append(panels[3].data[s],
+						fmt.Sprintf("%.1f", float64(d[metrics.SwapWriteSectors])/1000))
+				},
+			})
+		})
+		for _, it := range out.res.Iterations {
+			panels[0].data[s] = append(panels[0].data[s], secs(it))
+		}
+	}
+
+	for _, pn := range panels {
+		tab := &Table{Title: pn.title, Columns: []string{"iteration"}}
+		for _, s := range schemes {
+			tab.Columns = append(tab.Columns, s.String())
+		}
+		for i := 0; i < iters; i++ {
+			row := []string{fmt.Sprintf("%d", i+1)}
+			for _, s := range schemes {
+				if i < len(pn.data[s]) {
+					row = append(row, pn.data[s][i])
+				} else {
+					row = append(row, "-")
+				}
+			}
+			tab.Add(row...)
+		}
+		rep.Tables = append(rep.Tables, tab)
+	}
+	return rep
+}
+
+// Fig10 reproduces the false-reads demonstration: after the sequential
+// read, a process allocates and sequentially accesses 200 MB.
+func Fig10(o Options) *Report {
+	o = o.normalized()
+	rep := &Report{
+		ID:        "fig10",
+		Title:     "Effect of false reads on a 200MB allocating process (Fig. 10)",
+		PaperNote: "preventer more than doubles performance over mapper-only; balloon crashed (over-ballooning); runtime tracks disk ops",
+	}
+	tab := &Table{
+		Title:   "alloc+access phase",
+		Columns: []string{"config", "runtime [sec]", "disk ops [1000s]", "false reads"},
+	}
+	for _, s := range []Scheme{Baseline, MapperOnly, VSwapper, BalloonBase} {
+		var allocSnap map[string]int64
+		out := runSingle(runCfg{
+			opts: o, scheme: s,
+			guestMB: 512, actualMB: 100,
+			warmup: true,
+		}, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+			workload.SeqRead(vm, workload.SeqReadConfig{FileMB: o.mb(200)}).Wait(p)
+			allocSnap = vm.M.Met.Snapshot() // isolate the alloc phase
+			return workload.AllocTouch(vm, workload.AllocTouchConfig{SizeMB: o.mb(200)})
+		})
+		d := out.m.Met.Diff(allocSnap)
+		tab.Add(s.String(), runtimeOrKilled(out.res),
+			fmt.Sprintf("%.1f", float64(d[metrics.DiskOps])/1000),
+			fmt.Sprintf("%d", d[metrics.FalseSwapReads]))
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep
+}

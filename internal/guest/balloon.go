@@ -1,0 +1,89 @@
+package guest
+
+import (
+	"vswapsim/internal/sim"
+)
+
+// The balloon driver: a paravirtual pseudo-driver that allocates pinned
+// guest pages at the host's request and donates them via hypercall
+// (paper §2.1, Fig. 2). Inflation runs at the speed the guest can free
+// memory — when reclaim needs swap I/O, inflation is slow, which is the
+// responsiveness gap VSwapper exploits under changing load.
+
+// balloonBatch is how many pages the driver moves per hypercall.
+const balloonBatch = 64
+
+// perPagePinCost is the CPU cost of pinning/unpinning one balloon page.
+const perPagePinCost = 500 * sim.Nanosecond
+
+// SetBalloonTarget asks the driver to inflate/deflate toward n pages.
+func (os *OS) SetBalloonTarget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	max := os.Cfg.MemPages * 9 / 10
+	if n > max {
+		n = max // guests bound balloon sizes (paper: 65% on ESX)
+	}
+	os.balloonGoal = n
+	os.balloonWake.Broadcast()
+}
+
+// BalloonTarget reports the current goal.
+func (os *OS) BalloonTarget() int { return os.balloonGoal }
+
+// Shutdown stops the balloon daemon so the simulation can drain.
+func (os *OS) Shutdown() {
+	os.shutdown = true
+	os.balloonWake.Broadcast()
+}
+
+// balloonLoop is the driver's kernel thread.
+func (os *OS) balloonLoop(p *sim.Proc) {
+	t := &Thread{OS: os, P: p}
+	for !os.shutdown {
+		cur := len(os.balloonGFNs)
+		switch {
+		case cur < os.balloonGoal:
+			n := os.balloonGoal - cur
+			if n > balloonBatch {
+				n = balloonBatch
+			}
+			batch := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				gfn := os.allocPage(t)
+				if gfn < 0 {
+					break // cannot inflate further right now
+				}
+				os.pages[gfn].kind = kindBalloon
+				os.balloonGFNs = append(os.balloonGFNs, gfn)
+				batch = append(batch, int(gfn))
+			}
+			if len(batch) == 0 {
+				// Allocation failing entirely: back off and retry.
+				p.Sleep(100 * sim.Millisecond)
+				continue
+			}
+			t.Compute(sim.Duration(len(batch)) * perPagePinCost)
+			t.FlushCPU()
+			os.Plat.BalloonRelease(batch)
+		case cur > os.balloonGoal:
+			n := cur - os.balloonGoal
+			if n > balloonBatch {
+				n = balloonBatch
+			}
+			batch := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				gfn := os.balloonGFNs[len(os.balloonGFNs)-1]
+				os.balloonGFNs = os.balloonGFNs[:len(os.balloonGFNs)-1]
+				batch = append(batch, int(gfn))
+				os.putFree(gfn)
+			}
+			t.Compute(sim.Duration(len(batch)) * perPagePinCost)
+			t.FlushCPU()
+			os.Plat.BalloonReclaim(batch)
+		default:
+			os.balloonWake.Wait(p)
+		}
+	}
+}

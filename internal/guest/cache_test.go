@@ -1,0 +1,101 @@
+package guest
+
+import (
+	"testing"
+
+	"vswapsim/internal/sim"
+)
+
+func TestWriteFileSpansPartialAndWholeBlocks(t *testing.T) {
+	g := newGuest(t, 65536, nil)
+	g.run(t, func(th *Thread) {
+		f := g.os.FS.Create("out", 1<<20)
+		// 100 bytes into block 0, through block 1 (whole), into block 2.
+		th.WriteFile(f, 4000, 96+4096+50)
+		if g.os.DirtyCachePages() != 3 {
+			t.Errorf("dirty = %d, want 3", g.os.DirtyCachePages())
+		}
+		// Blocks 0 and 2 are partial: read-modify-write; block 1 is whole.
+		if g.plat.reads != 2 {
+			t.Errorf("reads = %d, want 2 (two partial blocks)", g.plat.reads)
+		}
+	})
+}
+
+func TestReadFileUnalignedOffsets(t *testing.T) {
+	g := newGuest(t, 65536, nil)
+	g.run(t, func(th *Thread) {
+		f := g.os.FS.Create("data", 1<<20)
+		th.ReadFile(f, 100, 50)     // within one block
+		th.ReadFile(f, 4090, 10)    // spans blocks 0-1
+		th.ReadFile(f, 12288, 4096) // exactly block 3
+		if g.os.CachePages() < 3 {
+			t.Errorf("cache = %d pages", g.os.CachePages())
+		}
+	})
+}
+
+func TestSyncIdempotent(t *testing.T) {
+	g := newGuest(t, 65536, nil)
+	g.run(t, func(th *Thread) {
+		f := g.os.FS.Create("out", 1<<20)
+		th.WriteFile(f, 0, 8*4096)
+		th.Sync(f)
+		writes := len(g.plat.writes)
+		th.Sync(f) // nothing dirty: no I/O
+		if len(g.plat.writes) != writes {
+			t.Error("second sync wrote data")
+		}
+	})
+}
+
+func TestRereadAfterWriteHitsCache(t *testing.T) {
+	g := newGuest(t, 65536, nil)
+	g.run(t, func(th *Thread) {
+		f := g.os.FS.Create("out", 1<<20)
+		th.WriteFile(f, 0, 16*4096)
+		reads := g.plat.reads
+		th.ReadFile(f, 0, 16*4096)
+		if g.plat.reads != reads {
+			t.Error("read of just-written data hit the disk")
+		}
+	})
+}
+
+func TestBalloonWhileCacheFull(t *testing.T) {
+	g := newGuest(t, 4096, nil)
+	g.run(t, func(th *Thread) {
+		f := g.os.FS.Create("data", 14<<20)
+		th.ReadFile(f, 0, 14<<20) // fill the 16MB guest with cache
+		g.os.SetBalloonTarget(2000)
+		for g.os.BalloonPages() < 2000 {
+			th.P.Sleep(10 * sim.Millisecond)
+		}
+		// Inflation must have come out of the page cache.
+		if g.os.CachePages() > 2100 {
+			t.Errorf("cache still %d pages after inflating 2000", g.os.CachePages())
+		}
+	})
+	if g.os.OOMKills() != 0 {
+		t.Fatal("cache-only pressure must not OOM")
+	}
+}
+
+func TestKernelHotSetStaysMapped(t *testing.T) {
+	g := newGuest(t, 4096, nil)
+	g.run(t, func(th *Thread) {
+		// Heavy churn; kernel pages are unevictable guest-side.
+		f := g.os.FS.Create("data", 24<<20)
+		th.ReadFile(f, 0, 24<<20)
+	})
+	if g.os.FreePages() < 0 {
+		t.Fatal("accounting broke")
+	}
+	// Kernel pages are not on any reclaim list, so cache+anon+free+kernel
+	// +balloon must cover all memory.
+	total := g.os.CachePages() + g.os.AnonPages() + g.os.FreePages() +
+		g.os.Cfg.KernelPages + g.os.BalloonPages()
+	if total != g.os.Cfg.MemPages {
+		t.Fatalf("page accounting: %d != %d", total, g.os.Cfg.MemPages)
+	}
+}

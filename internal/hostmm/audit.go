@@ -1,0 +1,73 @@
+package hostmm
+
+import "fmt"
+
+// Audit verifies the manager's internal invariants; tests call it after
+// stress scenarios. It returns the first violation found, or nil.
+//
+// Invariants checked:
+//  1. Every page on an LRU list is resident, and its list matches its kind
+//     (anon lists hold ResidentAnon, file lists hold ResidentFile).
+//  2. Per-cgroup resident counts equal the frames implied by the lists.
+//  3. The frame pool usage equals the sum of cgroup resident counts.
+//  4. Every allocated swap slot is owned by a page that records it.
+//  5. No page is charged twice (appears on two lists).
+func (m *Manager) Audit() error {
+	totalResident := 0
+	for _, cg := range m.cgroups {
+		listed := 0
+		check := func(l *pageList, wantState PageState) error {
+			n := 0
+			for pg := l.head; pg != nil; pg = pg.next {
+				n++
+				if pg.list != l {
+					return fmt.Errorf("%s: page %d has wrong list backref", l.name, pg.ID)
+				}
+				if pg.State != wantState {
+					return fmt.Errorf("%s: page %d in state %s", l.name, pg.ID, pg.State)
+				}
+				if pg.Owner != cg {
+					return fmt.Errorf("%s: page %d owned by %s", l.name, pg.ID, pg.Owner.Name)
+				}
+			}
+			if n != l.size {
+				return fmt.Errorf("%s: size %d but %d nodes", l.name, l.size, n)
+			}
+			listed += n
+			return nil
+		}
+		if err := check(&cg.activeAnon, ResidentAnon); err != nil {
+			return err
+		}
+		if err := check(&cg.inactiveAnon, ResidentAnon); err != nil {
+			return err
+		}
+		if err := check(&cg.activeFile, ResidentFile); err != nil {
+			return err
+		}
+		if err := check(&cg.inactiveFile, ResidentFile); err != nil {
+			return err
+		}
+		// lazy entries hold no frames; they are not counted.
+		if listed != cg.resident {
+			return fmt.Errorf("cgroup %s: %d listed resident pages but %d charged",
+				cg.Name, listed, cg.resident)
+		}
+		if cg.pinned < 0 {
+			return fmt.Errorf("cgroup %s: negative pin count %d", cg.Name, cg.pinned)
+		}
+		totalResident += cg.resident
+	}
+	if totalResident != m.Pool.Used() {
+		return fmt.Errorf("pool uses %d frames but cgroups charge %d", m.Pool.Used(), totalResident)
+	}
+	for slot, pg := range m.Swap.owner {
+		if m.Swap.free[slot] {
+			return fmt.Errorf("slot %d owned by page %d but marked free", slot, pg.ID)
+		}
+		if pg.SwapSlot != slot {
+			return fmt.Errorf("slot %d owner page %d records slot %d", slot, pg.ID, pg.SwapSlot)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package hostmm
+
+import (
+	"fmt"
+
+	"vswapsim/internal/disk"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/trace"
+)
+
+// NewPage creates the host-side descriptor for one page of cg (lazily, on
+// first reference). ID is the GFN for guest pages.
+func (m *Manager) NewPage(cg *Cgroup, id int) *Page {
+	if len(m.pageSlab) == 0 {
+		m.pageSlab = make([]Page, 8192)
+	}
+	pg := &m.pageSlab[0]
+	m.pageSlab = m.pageSlab[1:]
+	pg.Owner = cg
+	pg.ID = id
+	pg.SwapSlot = -1
+	return pg
+}
+
+// NewFilePage creates a named, non-resident page backed by ref, e.g. one
+// page of the QEMU executable before it is first demand-loaded.
+func (m *Manager) NewFilePage(cg *Cgroup, id int, ref BlockRef) *Page {
+	pg := m.NewPage(cg, id)
+	pg.State = FileNonResident
+	pg.Backing = ref
+	pg.TruthBlock = ref
+	pg.TruthClean = true
+	ref.File.AddMapping(pg)
+	return pg
+}
+
+func (m *Manager) accountFault(ctx Ctx, major bool) {
+	if ctx == GuestCtx {
+		m.Met.Inc(metrics.HostFaultsInGuest)
+		if major {
+			m.Met.Inc(metrics.HostMajorInGuest)
+		}
+	} else {
+		m.Met.Inc(metrics.HostFaultsInHost)
+	}
+	if major {
+		m.Met.Inc(metrics.HostMajorFaults)
+	} else {
+		m.Met.Inc(metrics.HostMinorFaults)
+	}
+}
+
+// lockFault serializes concurrent fault-ins: it returns false if another
+// process completed the fault while we waited (the caller should simply
+// return; the page is in a new state). On true, the caller owns the fault
+// and must call unlockFault when done.
+func (m *Manager) lockFault(p *sim.Proc, pg *Page, want PageState) bool {
+	for pg.fault != nil {
+		sig := pg.fault
+		sig.Wait(p)
+	}
+	if pg.State != want {
+		return false // resolved concurrently
+	}
+	if n := len(m.signalPool); n > 0 {
+		pg.fault = m.signalPool[n-1]
+		m.signalPool = m.signalPool[:n-1]
+	} else {
+		pg.fault = sim.NewSignal(m.Env)
+	}
+	return true
+}
+
+func (m *Manager) unlockFault(pg *Page) {
+	sig := pg.fault
+	pg.fault = nil
+	sig.Broadcast()
+	m.signalPool = append(m.signalPool, sig)
+}
+
+// FirstTouch handles the very first access to an untouched (or ballooned-
+// then-returned) page: allocate a zeroed frame and map it.
+func (m *Manager) FirstTouch(p *sim.Proc, pg *Page, ctx Ctx) {
+	if pg.State != Untouched && pg.State != Ballooned {
+		panic(fmt.Sprintf("hostmm: FirstTouch on %s page", pg.State))
+	}
+	if !m.lockFault(p, pg, pg.State) {
+		return
+	}
+	defer m.unlockFault(pg)
+	m.chargeFrames(p, pg.Owner, 1)
+	pg.State = ResidentAnon
+	pg.Dirty = true
+	pg.Referenced = true
+	pg.EPT = ctx == GuestCtx
+	pg.TruthClean = false
+	pg.TruthBlock = BlockRef{}
+	pg.Owner.activeAnon.pushFront(pg)
+	m.accountFault(ctx, false)
+	p.Sleep(m.Cfg.MinorFaultCost)
+}
+
+// SwapIn services a major fault on a swapped-out page: it reads the
+// cluster of allocated slots around the fault (swap readahead), placing
+// the neighbours in the swap cache. The faulting page is left resident but
+// unmapped; callers map it with MinorMap (guest) or use it directly
+// (host/QEMU context).
+func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
+	if pg.State != SwappedOut {
+		return // resolved while the caller was getting here
+	}
+	if !m.lockFault(p, pg, SwappedOut) {
+		return // a concurrent fault brought the page in
+	}
+	defer m.unlockFault(pg)
+	slots := m.Swap.ClusterRun(pg.SwapSlot, m.Cfg.SwapClusterPages)
+
+	// Read maximal disk-contiguous runs; skip slots whose page is already
+	// in the swap cache (resident).
+	var ioSlots []int64
+	for _, s := range slots {
+		q := m.Swap.Owner(s)
+		if q != nil && q.State == SwappedOut && (q == pg || q.fault == nil) {
+			ioSlots = append(ioSlots, s)
+		}
+	}
+	var last sim.Time
+	start := 0
+	for i := 1; i <= len(ioSlots); i++ {
+		if i < len(ioSlots) && ioSlots[i] == ioSlots[i-1]+1 {
+			continue
+		}
+		run := ioSlots[start:i]
+		done := m.Dev.Submit(disk.Read, m.Swap.Phys(run[0]), len(run))
+		if done > last {
+			last = done
+		}
+		m.Met.Inc(metrics.SwapReadOps)
+		m.Met.Add(metrics.SwapReadSectors, int64(len(run))*disk.SectorsPerBlock)
+		start = i
+	}
+	p.SleepUntil(last)
+
+	// The guest may have superseded the page while the read was in flight
+	// (balloon take after an OOM teardown, mmap-over): nothing to map.
+	if pg.State != SwappedOut {
+		return
+	}
+
+	// Instantiate the faulting page first and pin it so that charging
+	// frames for the prefetched neighbours cannot reclaim it (Linux holds
+	// the page lock across the fault).
+	m.pin(pg)
+	m.chargeFrames(p, pg.Owner, 1)
+	if pg.State != SwappedOut {
+		m.unchargeFrame(pg.Owner)
+		m.unpin(pg)
+		return
+	}
+	pg.State = ResidentAnon
+	pg.Dirty = false
+	pg.EPT = false
+	pg.Referenced = false
+	pg.Owner.inactiveAnon.pushFront(pg)
+	m.Met.Inc(metrics.HostSwapIns)
+	m.Trace.Add(m.Env.Now(), trace.Fault, "swap-in cg=%s gfn=%d slot=%d cluster=%d",
+		pg.Owner.Name, pg.ID, pg.SwapSlot, len(ioSlots))
+
+	var pinned []*Page
+	for _, s := range ioSlots {
+		q := m.Swap.Owner(s)
+		if q == nil || q.State != SwappedOut || q.fault != nil {
+			continue
+		}
+		// Prefetch may itself reclaim (Linux allocates readahead pages
+		// with reclaim allowed); pin the cluster so the fault cannot eat
+		// its own pages, but never pin away the last evictable page.
+		if !m.canPrefetchInto(q.Owner) {
+			continue
+		}
+		m.pin(q)
+		m.chargeFrames(p, q.Owner, 1)
+		if q.State != SwappedOut {
+			// A concurrent fault instantiated q while reclaim slept.
+			m.unchargeFrame(q.Owner)
+			m.unpin(q)
+			continue
+		}
+		q.State = ResidentAnon
+		q.Dirty = false // clean copy of the slot (swap cache)
+		q.EPT = false
+		q.Referenced = false
+		q.Owner.inactiveAnon.pushFront(q)
+		m.Met.Inc(metrics.HostSwapPrefetched)
+		pinned = append(pinned, q)
+	}
+	for _, q := range pinned {
+		m.unpin(q)
+	}
+	m.unpin(pg)
+	m.accountFault(ctx, true)
+	p.Sleep(m.Cfg.MajorFaultCost)
+}
+
+// FileFaultIn services a major fault on a named non-resident page by
+// reading it (plus a sequential readahead window of other named,
+// non-resident blocks) from its backing file.
+func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
+	if pg.State != FileNonResident {
+		return // resolved while the caller was getting here
+	}
+	if !m.lockFault(p, pg, FileNonResident) {
+		return // a concurrent fault brought the page in
+	}
+	defer m.unlockFault(pg)
+	f := pg.Backing.File
+	b := pg.Backing.Block
+	win := f.readaheadWindow(b, m.Cfg.FileRAMinPages, m.Cfg.FileRAMaxPages)
+
+	// Extend from the demand block over contiguous blocks that have a
+	// non-resident mapping (the paper: host prefetch is limited to content
+	// the guest already cached and the host reclaimed).
+	nblocks := 1
+	for int64(nblocks) < int64(win) {
+		nb := b + int64(nblocks)
+		if nb >= f.Blocks() {
+			break
+		}
+		hasNR := false
+		for q := f.MappingAt(nb); q != nil; q = q.nextMapping {
+			if q.State == FileNonResident {
+				hasNR = true
+				break
+			}
+		}
+		if !hasNR || f.CachedResident(nb) {
+			break
+		}
+		nblocks++
+	}
+
+	done := m.Dev.Submit(disk.Read, f.Phys(b), nblocks)
+	m.Met.Add(metrics.ImageReadSectors, int64(nblocks)*disk.SectorsPerBlock)
+	p.SleepUntil(done)
+
+	if pg.State != FileNonResident {
+		return // superseded while the read was in flight
+	}
+	m.pin(pg)
+	m.chargeFrames(p, pg.Owner, 1)
+	if pg.State != FileNonResident {
+		m.unchargeFrame(pg.Owner)
+		m.unpin(pg)
+		return
+	}
+	pg.State = ResidentFile
+	pg.EPT = false
+	pg.Referenced = false
+	pg.Dirty = false
+	pg.Owner.inactiveFile.pushFront(pg)
+	m.Trace.Add(m.Env.Now(), trace.Fault, "file-in cg=%s gfn=%d block=%d window=%d",
+		pg.Owner.Name, pg.ID, b, nblocks)
+
+	var pinned []*Page
+	for i := 0; i < nblocks; i++ {
+		blk := b + int64(i)
+		f.EachMapping(blk, func(q *Page) {
+			if q == pg || q.State != FileNonResident || q.fault != nil {
+				return
+			}
+			if !m.canPrefetchInto(q.Owner) {
+				return
+			}
+			m.pin(q)
+			m.chargeFrames(p, q.Owner, 1)
+			if q.State != FileNonResident {
+				// A concurrent fault resolved q while reclaim slept.
+				m.unchargeFrame(q.Owner)
+				m.unpin(q)
+				return
+			}
+			q.State = ResidentFile
+			q.EPT = false
+			q.Referenced = false
+			q.Dirty = false
+			q.Owner.inactiveFile.pushFront(q)
+			m.Met.Inc(metrics.HostFilePrefetched)
+			pinned = append(pinned, q)
+		})
+	}
+	for _, q := range pinned {
+		m.unpin(q)
+	}
+	m.unpin(pg)
+	m.accountFault(ctx, true)
+	p.Sleep(m.Cfg.MajorFaultCost)
+}
+
+// MinorMap installs the GPA⇒HPA mapping for a resident page (prefetched by
+// swap or file readahead, or just brought in by a major fault). For
+// anonymous pages on pre-Haswell hardware the host must then assume the
+// page is dirty, so its swap slot is released.
+func (m *Manager) MinorMap(p *sim.Proc, pg *Page, ctx Ctx) {
+	if !pg.State.Resident() {
+		panic(fmt.Sprintf("hostmm: MinorMap on %s page", pg.State))
+	}
+	wasHit := !pg.EPT && (pg.SwapSlot >= 0 || pg.State == ResidentFile)
+	pg.EPT = true
+	m.Touch(pg)
+	if pg.State == ResidentAnon && !m.Cfg.EPTDirtyBits {
+		pg.Dirty = true
+		if pg.SwapSlot >= 0 {
+			m.Swap.Free(pg.SwapSlot)
+			pg.SwapSlot = -1
+		}
+	}
+	if wasHit {
+		m.Met.Inc(metrics.HostPrefetchHits)
+	}
+	m.accountFault(ctx, false)
+	p.Sleep(m.Cfg.MinorFaultCost)
+}
+
+// MarkWritten records an actual write when EPT dirty bits are available
+// (the ablation config); without them writes are implied by MinorMap.
+func (m *Manager) MarkWritten(pg *Page) {
+	pg.Dirty = true
+	pg.TruthClean = false
+	if pg.SwapSlot >= 0 {
+		m.Swap.Free(pg.SwapSlot)
+		pg.SwapSlot = -1
+	}
+}
+
+// COWBreak handles a guest write to a privately-mapped named page: copy,
+// unmap from the file, and treat as anonymous from now on. Per VSwapper's
+// design the source copy is removed from the host page cache immediately,
+// but reclaim still traverses a lazy entry for it (see Cgroup.lazy).
+func (m *Manager) COWBreak(p *sim.Proc, pg *Page, ctx Ctx) {
+	if pg.State != ResidentFile {
+		panic(fmt.Sprintf("hostmm: COWBreak on %s page", pg.State))
+	}
+	f := pg.Backing.File
+	f.RemoveMapping(pg)
+	if pg.list != nil {
+		pg.list.remove(pg)
+	}
+	src := &Page{Owner: pg.Owner, ID: pg.ID, SwapSlot: -1, State: Untouched}
+	pg.Owner.lazy.pushFront(src)
+
+	pg.State = ResidentAnon
+	pg.Dirty = true
+	pg.Backing = BlockRef{}
+	pg.TruthClean = false
+	pg.TruthBlock = BlockRef{}
+	pg.Referenced = true
+	pg.Owner.activeAnon.pushFront(pg)
+	m.Met.Inc(metrics.HostCOWBreaks)
+	m.accountFault(ctx, false)
+	p.Sleep(m.Cfg.COWCost)
+}
+
+// Forget releases whatever the host holds for the page (frame, swap slot,
+// file mapping) without any I/O, leaving it Untouched. Used when content
+// is about to be entirely superseded (mmap-over by the Mapper) and by the
+// balloon path.
+func (m *Manager) Forget(pg *Page) {
+	if pg.list != nil {
+		pg.list.remove(pg)
+	}
+	switch pg.State {
+	case ResidentAnon, ResidentFile:
+		if pg.State == ResidentFile {
+			pg.Backing.File.RemoveMapping(pg)
+		}
+		m.unchargeFrame(pg.Owner)
+	case FileNonResident:
+		pg.Backing.File.RemoveMapping(pg)
+	case SwappedOut:
+		// slot freed below
+	case Untouched, Ballooned:
+		// nothing held
+	case Emulated:
+		panic("hostmm: Forget on emulated page; finish emulation first")
+	}
+	if pg.SwapSlot >= 0 {
+		m.Swap.Free(pg.SwapSlot)
+		pg.SwapSlot = -1
+	}
+	pg.Backing = BlockRef{}
+	pg.State = Untouched
+	pg.EPT = false
+	pg.Dirty = false
+	pg.Referenced = false
+	pg.TruthClean = false
+	pg.TruthBlock = BlockRef{}
+}
+
+// BalloonTake is invoked by the balloon hypercall: the guest pinned the
+// page and promises not to use it, so the host drops all its state.
+func (m *Manager) BalloonTake(pg *Page) {
+	m.Forget(pg)
+	pg.State = Ballooned
+	m.Met.Inc(metrics.BalloonInflatePages)
+}
+
+// BalloonReturn gives a page back to the guest on deflate; its content is
+// undefined until first touch.
+func (m *Manager) BalloonReturn(pg *Page) {
+	if pg.State != Ballooned {
+		panic(fmt.Sprintf("hostmm: BalloonReturn on %s page", pg.State))
+	}
+	pg.State = Untouched
+	m.Met.Inc(metrics.BalloonDeflatePages)
+}

@@ -1,0 +1,122 @@
+package hostmm
+
+import (
+	"vswapsim/internal/disk"
+)
+
+// File is a host-visible file backed by a contiguous disk region: a guest
+// disk image, or the QEMU executable on the host root filesystem. Named
+// pages reference file blocks through BlockRefs; the File tracks which
+// pages map each block so that writes through ordinary I/O channels can
+// invalidate stale mappings (the paper's new open-flag semantics, §4.1
+// "Data Consistency").
+type File struct {
+	Name   string
+	Region disk.Region
+
+	// InvalidateOnWrite mirrors the paper's new open(2) flag: explicit
+	// writes to blocks with live private mappings must break those
+	// mappings (after rescuing their old content) before the write lands.
+	InvalidateOnWrite bool
+
+	// mappings holds, per block, the chain head of pages mapping it.
+	mappings map[int64]*Page
+
+	// readahead state (host-side, per file, Linux-style window doubling).
+	raNextBlock int64 // block that would continue the current stream
+	raWindow    int   // current window in pages
+}
+
+// NewFile returns a file over the region.
+func NewFile(name string, region disk.Region) *File {
+	return &File{
+		Name:     name,
+		Region:   region,
+		mappings: make(map[int64]*Page),
+	}
+}
+
+// Blocks reports the file length in 4 KiB blocks.
+func (f *File) Blocks() int64 { return f.Region.Blocks }
+
+// Phys translates a file block to a physical disk block.
+func (f *File) Phys(block int64) int64 { return f.Region.Phys(block) }
+
+// AddMapping records that pg (whose Backing must point into f) maps its
+// backing block.
+func (f *File) AddMapping(pg *Page) {
+	if pg.Backing.File != f {
+		panic("hostmm: AddMapping with foreign backing")
+	}
+	b := pg.Backing.Block
+	pg.nextMapping = f.mappings[b]
+	f.mappings[b] = pg
+}
+
+// RemoveMapping unlinks pg from its backing block's chain.
+func (f *File) RemoveMapping(pg *Page) {
+	b := pg.Backing.Block
+	cur := f.mappings[b]
+	if cur == pg {
+		f.mappings[b] = pg.nextMapping
+		pg.nextMapping = nil
+		return
+	}
+	for cur != nil && cur.nextMapping != pg {
+		cur = cur.nextMapping
+	}
+	if cur == nil {
+		panic("hostmm: RemoveMapping of unmapped page")
+	}
+	cur.nextMapping = pg.nextMapping
+	pg.nextMapping = nil
+}
+
+// MappingAt returns the most recent page mapping the block, or nil.
+func (f *File) MappingAt(block int64) *Page { return f.mappings[block] }
+
+// EachMapping calls fn for every page currently mapping the block.
+func (f *File) EachMapping(block int64, fn func(*Page)) {
+	for pg := f.mappings[block]; pg != nil; {
+		next := pg.nextMapping // fn may unlink pg
+		fn(pg)
+		pg = next
+	}
+}
+
+// CachedResident reports whether some resident page holds the block's
+// content (i.e. the block is effectively in the host page cache).
+func (f *File) CachedResident(block int64) bool {
+	for pg := f.mappings[block]; pg != nil; pg = pg.nextMapping {
+		if pg.State == ResidentFile {
+			return true
+		}
+	}
+	return false
+}
+
+// MappedBlocks reports the number of blocks with at least one mapping.
+func (f *File) MappedBlocks() int { return len(f.mappings) }
+
+// readaheadWindow updates the per-file sequential-readahead state for a
+// demand access at `block` and returns how many blocks (including the
+// demanded one) to read. Sequential streams double the window up to max.
+func (f *File) readaheadWindow(block int64, min, max int) int {
+	if block == f.raNextBlock && f.raWindow > 0 {
+		f.raWindow *= 2
+		if f.raWindow > max {
+			f.raWindow = max
+		}
+	} else {
+		f.raWindow = min
+	}
+	win := f.raWindow
+	if rest := f.Blocks() - block; int64(win) > rest {
+		win = int(rest)
+	}
+	if win < 1 {
+		win = 1
+	}
+	f.raNextBlock = block + int64(win)
+	return win
+}

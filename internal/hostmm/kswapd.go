@@ -1,0 +1,65 @@
+package hostmm
+
+import (
+	"vswapsim/internal/sim"
+)
+
+// kswapd: background reclaim. Direct reclaim (chargeFrames) is the
+// correctness path; kswapd smooths latency by keeping a free reserve, like
+// Linux's daemon. It reclaims from the largest cgroups when the global
+// pool drops below its low watermark.
+
+// KswapdConfig tunes the background reclaimer.
+type KswapdConfig struct {
+	// Interval between pool checks.
+	Interval sim.Duration
+	// LowFrac / HighFrac are pool-level watermarks as fractions of
+	// capacity: reclaim starts below low and stops at high.
+	LowFrac  float64
+	HighFrac float64
+}
+
+// DefaultKswapdConfig mirrors Linux's small free reserves.
+func DefaultKswapdConfig() KswapdConfig {
+	return KswapdConfig{
+		Interval: 250 * sim.Millisecond,
+		LowFrac:  0.02,
+		HighFrac: 0.04,
+	}
+}
+
+// StartKswapd launches the background reclaimer; call the returned stop
+// function to let the simulation drain.
+func (m *Manager) StartKswapd(cfg KswapdConfig) (stop func()) {
+	if cfg.Interval == 0 {
+		cfg = DefaultKswapdConfig()
+	}
+	low := int(float64(m.Pool.Capacity()) * cfg.LowFrac)
+	high := int(float64(m.Pool.Capacity()) * cfg.HighFrac)
+	if low < 64 {
+		low = 64
+	}
+	if high <= low {
+		high = low * 2
+	}
+	done := false
+	m.Env.Go("kswapd", func(p *sim.Proc) {
+		for !done {
+			if m.Pool.Free() < low {
+				// Reclaim from the largest cgroup in bounded batches until
+				// the high watermark, yielding between batches.
+				for m.Pool.Free() < high && !done {
+					victim := m.largestCgroup()
+					if victim == nil {
+						break
+					}
+					if m.reclaim(p, victim, m.Cfg.ReclaimBatch) == 0 {
+						break // nothing reclaimable right now
+					}
+				}
+			}
+			p.Sleep(cfg.Interval)
+		}
+	})
+	return func() { done = true }
+}

@@ -1,0 +1,79 @@
+package hostmm
+
+import (
+	"testing"
+
+	"vswapsim/internal/disk"
+	"vswapsim/internal/mem"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+func TestKswapdKeepsFreeReserve(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	model := disk.Constellation7200()
+	dev := disk.NewDevice(env, model, met)
+	layout := disk.NewLayout(model.TotalBlocks)
+	swap := NewSwapArea(layout.Reserve("swap", 1<<14))
+	pool := mem.NewFramePool(1000)
+	mgr := NewManager(env, met, dev, pool, swap, Config{})
+	cg := mgr.NewCgroup("vm", 0)
+
+	stop := mgr.StartKswapd(KswapdConfig{
+		Interval: 10 * sim.Millisecond,
+		LowFrac:  0.1, // 100 frames
+		HighFrac: 0.2, // 200 frames
+	})
+	env.Go("hog", func(p *sim.Proc) {
+		// Fill the pool well past the low watermark, then idle so kswapd
+		// can catch up.
+		for i := 0; i < 950; i++ {
+			pg := mgr.NewPage(cg, i)
+			mgr.FirstTouch(p, pg, GuestCtx)
+		}
+		p.Sleep(2 * sim.Second)
+		if pool.Free() < 100 {
+			t.Errorf("kswapd left only %d free frames", pool.Free())
+		}
+		stop()
+	})
+	env.Run()
+	if met.Get(metrics.HostPagesReclaimed) == 0 {
+		t.Fatal("kswapd reclaimed nothing")
+	}
+}
+
+func TestKswapdStops(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	dev := disk.NewDevice(env, disk.Constellation7200(), met)
+	layout := disk.NewLayout(disk.Constellation7200().TotalBlocks)
+	swap := NewSwapArea(layout.Reserve("swap", 1024))
+	pool := mem.NewFramePool(100)
+	mgr := NewManager(env, met, dev, pool, swap, Config{})
+	stop := mgr.StartKswapd(KswapdConfig{Interval: 50 * sim.Millisecond, LowFrac: 0.1, HighFrac: 0.2})
+	env.Go("stopper", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		stop()
+	})
+	end := env.Run() // must terminate
+	if end > sim.Time(2*sim.Second) {
+		t.Fatalf("kswapd kept the simulation alive until %v", end)
+	}
+}
+
+func TestSSDModelFlatLatency(t *testing.T) {
+	m := disk.SSD840()
+	near := m.Service(1000, 1001, 8)
+	far := m.Service(1000, 1_000_000, 8)
+	if near != far {
+		t.Fatalf("SSD latency position-dependent: %v vs %v", near, far)
+	}
+	// On flash, sequential placement buys nothing: every request pays the
+	// same per-command overhead.
+	seq := m.Service(1000, 1000, 8)
+	if seq != near {
+		t.Fatalf("sequential (%v) differs from random (%v) on an SSD", seq, near)
+	}
+}

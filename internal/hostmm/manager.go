@@ -1,0 +1,478 @@
+package hostmm
+
+import (
+	"fmt"
+
+	"vswapsim/internal/disk"
+	"vswapsim/internal/mem"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/trace"
+)
+
+// Ctx says on whose behalf a fault is being handled, which the paper's
+// Fig. 9 distinguishes: faults while host (QEMU) code runs versus EPT
+// violations while the guest runs.
+type Ctx uint8
+
+const (
+	// HostCtx: QEMU/host kernel code touched the page (virtio emulation,
+	// QEMU text, reclaim).
+	HostCtx Ctx = iota
+	// GuestCtx: the guest touched the page (EPT violation).
+	GuestCtx
+)
+
+// Config holds the host MM tunables. Zero values are replaced by defaults
+// mirroring Linux 3.x as used in the paper's testbed.
+type Config struct {
+	// SwapClusterPages is the swap readahead cluster (Linux page-cluster=3
+	// means 8 pages).
+	SwapClusterPages int
+	// FileRAMinPages / FileRAMaxPages bound the sequential file readahead
+	// window.
+	FileRAMinPages int
+	FileRAMaxPages int
+	// ReclaimBatch is how many pages one direct-reclaim pass targets.
+	ReclaimBatch int
+	// MinFileFloor: below this many inactive file pages, reclaim turns to
+	// the anonymous lists (mirrors Linux preferring file pages while any
+	// meaningful number remain).
+	MinFileFloor int
+	// PageScanCost is CPU per page considered by reclaim.
+	PageScanCost sim.Duration
+	// MajorFaultCost / MinorFaultCost are the CPU costs of fault handling
+	// (exits, walks), excluding disk time.
+	MajorFaultCost sim.Duration
+	MinorFaultCost sim.Duration
+	// COWCost is the CPU cost of a copy-on-write break (exit + 4 KiB copy).
+	COWCost sim.Duration
+	// WritebackCongestion bounds how much queued swap writeback a
+	// direct-reclaimer may leave behind: if the device backlog exceeds
+	// this, reclaim waits (Linux's congestion_wait).
+	WritebackCongestion sim.Duration
+	// EPTDirtyBits simulates post-Haswell hardware that exposes guest
+	// dirty bits, letting the host skip swap writes for clean pages
+	// (paper §5.3 predicts this; we offer it as an ablation).
+	EPTDirtyBits bool
+}
+
+// DefaultConfig returns the Linux-3.x-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		SwapClusterPages:    8,
+		FileRAMinPages:      4,
+		FileRAMaxPages:      32,
+		ReclaimBatch:        32,
+		MinFileFloor:        64,
+		PageScanCost:        80 * sim.Nanosecond,
+		MajorFaultCost:      5 * sim.Microsecond,
+		MinorFaultCost:      1200 * sim.Nanosecond,
+		COWCost:             3 * sim.Microsecond,
+		WritebackCongestion: 100 * sim.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SwapClusterPages == 0 {
+		c.SwapClusterPages = d.SwapClusterPages
+	}
+	if c.FileRAMinPages == 0 {
+		c.FileRAMinPages = d.FileRAMinPages
+	}
+	if c.FileRAMaxPages == 0 {
+		c.FileRAMaxPages = d.FileRAMaxPages
+	}
+	if c.ReclaimBatch == 0 {
+		c.ReclaimBatch = d.ReclaimBatch
+	}
+	if c.MinFileFloor == 0 {
+		c.MinFileFloor = d.MinFileFloor
+	}
+	if c.PageScanCost == 0 {
+		c.PageScanCost = d.PageScanCost
+	}
+	if c.MajorFaultCost == 0 {
+		c.MajorFaultCost = d.MajorFaultCost
+	}
+	if c.MinorFaultCost == 0 {
+		c.MinorFaultCost = d.MinorFaultCost
+	}
+	if c.COWCost == 0 {
+		c.COWCost = d.COWCost
+	}
+	if c.WritebackCongestion == 0 {
+		c.WritebackCongestion = d.WritebackCongestion
+	}
+	return c
+}
+
+// Manager is the host kernel's memory manager.
+type Manager struct {
+	Env  *sim.Env
+	Met  *metrics.Set
+	Dev  *disk.Device
+	Pool *mem.FramePool
+	Swap *SwapArea
+	Cfg  Config
+
+	// Trace, when non-nil, records fault/reclaim events for debugging.
+	Trace *trace.Ring
+
+	cgroups []*Cgroup
+
+	// pageSlab amortizes Page allocation: guests have hundreds of
+	// thousands of lazily-created pages and individual allocations cost
+	// real GC time at fig14 scale.
+	pageSlab []Page
+	// signalPool recycles fault-serialization signals.
+	signalPool []*sim.Signal
+}
+
+// NewManager assembles a host MM over the given device, frame pool and
+// swap area.
+func NewManager(env *sim.Env, met *metrics.Set, dev *disk.Device, pool *mem.FramePool, swap *SwapArea, cfg Config) *Manager {
+	return &Manager{
+		Env:  env,
+		Met:  met,
+		Dev:  dev,
+		Pool: pool,
+		Swap: swap,
+		Cfg:  cfg.withDefaults(),
+	}
+}
+
+// Cgroup is a memory control group bounding one QEMU process (one guest).
+// The experiments constrain guest memory with cgroups exactly as the paper
+// recommends for KVM.
+type Cgroup struct {
+	Name  string
+	Limit int // max resident pages; 0 = bounded only by the global pool
+
+	mgr      *Manager
+	resident int
+	pinned   int
+
+	activeAnon   pageList
+	inactiveAnon pageList
+	activeFile   pageList
+	inactiveFile pageList
+	// lazy holds COW source pages VSwapper dropped from the host page
+	// cache; reclaim frees them on sight but still "scans" them, which
+	// reproduces the paper's observation that VSwapper can double reclaim
+	// traversal lengths under low pressure (§5.3, Fig. 11c).
+	lazy pageList
+}
+
+// NewCgroup registers a new control group.
+func (m *Manager) NewCgroup(name string, limitPages int) *Cgroup {
+	cg := &Cgroup{Name: name, Limit: limitPages, mgr: m}
+	cg.activeAnon.name = name + "/active-anon"
+	cg.inactiveAnon.name = name + "/inactive-anon"
+	cg.activeFile.name = name + "/active-file"
+	cg.inactiveFile.name = name + "/inactive-file"
+	cg.lazy.name = name + "/lazy"
+	m.cgroups = append(m.cgroups, cg)
+	return cg
+}
+
+// Resident reports the pages currently charged to the cgroup.
+func (cg *Cgroup) Resident() int { return cg.resident }
+
+// SetLimit adjusts the cgroup limit; the next charge enforces it.
+func (cg *Cgroup) SetLimit(pages int) { cg.Limit = pages }
+
+// AnonPages and FilePages report LRU sizes (for tests and introspection).
+func (cg *Cgroup) AnonPages() int { return cg.activeAnon.size + cg.inactiveAnon.size }
+func (cg *Cgroup) FilePages() int { return cg.activeFile.size + cg.inactiveFile.size }
+
+// pin/unpin exclude a page from reclaim during a fault and keep count so
+// that prefetch never pins away the last evictable page of a cgroup.
+func (m *Manager) pin(pg *Page) {
+	if !pg.Pinned {
+		pg.Pinned = true
+		pg.Owner.pinned++
+	}
+}
+
+func (m *Manager) unpin(pg *Page) {
+	if pg.Pinned {
+		pg.Pinned = false
+		pg.Owner.pinned--
+	}
+}
+
+// Pin and Unpin expose the page lock to the hypervisor layer (e.g. to hold
+// DMA targets resident across a device transfer).
+func (m *Manager) Pin(pg *Page)   { m.pin(pg) }
+func (m *Manager) Unpin(pg *Page) { m.unpin(pg) }
+
+// canPrefetchInto reports whether charging one more pinned page to cg is
+// safe: either there is slack, or at least one evictable page remains.
+func (m *Manager) canPrefetchInto(cg *Cgroup) bool {
+	if cg.Limit > 0 && cg.pinned+2 > cg.Limit {
+		return false
+	}
+	return true
+}
+
+// Touch marks a page accessed. A second access while on an inactive list
+// promotes the page to the matching active list (Linux-style two-touch
+// activation).
+func (m *Manager) Touch(pg *Page) {
+	if !pg.Referenced {
+		pg.Referenced = true
+		return
+	}
+	cg := pg.Owner
+	switch pg.list {
+	case &cg.inactiveAnon:
+		cg.inactiveAnon.remove(pg)
+		cg.activeAnon.pushFront(pg)
+	case &cg.inactiveFile:
+		cg.inactiveFile.remove(pg)
+		cg.activeFile.pushFront(pg)
+	}
+}
+
+// chargeFrames makes room for and charges n frames to cg, running direct
+// reclaim on behalf of p as needed.
+func (m *Manager) chargeFrames(p *sim.Proc, cg *Cgroup, n int) {
+	for attempt := 0; ; attempt++ {
+		need := 0
+		if cg.Limit > 0 && cg.resident+n > cg.Limit {
+			need = cg.resident + n - cg.Limit
+		}
+		if short := n - m.Pool.Free(); short > need {
+			need = short
+		}
+		if need == 0 {
+			break
+		}
+		if attempt > 1_000_000 {
+			panic(fmt.Sprintf("hostmm: reclaim cannot satisfy %d pages for %s (resident=%d pinned=%d anonA=%d anonI=%d fileA=%d fileI=%d lazy=%d poolFree=%d)",
+				n, cg.Name, cg.resident, cg.pinned, cg.activeAnon.size, cg.inactiveAnon.size, cg.activeFile.size, cg.inactiveFile.size, cg.lazy.size, m.Pool.Free()))
+		}
+		victim := cg
+		if !(cg.Limit > 0 && cg.resident+n > cg.Limit) {
+			victim = m.largestCgroup()
+		}
+		// Like Linux's SWAP_CLUSTER_MAX, reclaim a full batch even for a
+		// single-page shortage: it amortizes scanning and keeps swap
+		// writeback in large contiguous requests.
+		if need < m.Cfg.ReclaimBatch {
+			need = m.Cfg.ReclaimBatch
+		}
+		m.reclaim(p, victim, need)
+	}
+	m.Pool.Grab(n)
+	cg.resident += n
+}
+
+func (m *Manager) unchargeFrame(cg *Cgroup) {
+	m.Pool.Release(1)
+	cg.resident--
+}
+
+func (m *Manager) largestCgroup() *Cgroup {
+	var best *Cgroup
+	for _, cg := range m.cgroups {
+		if best == nil || cg.resident > best.resident {
+			best = cg
+		}
+	}
+	return best
+}
+
+// reclaim frees at least `target` frames from cg (best effort), charging
+// scan CPU time to p and queueing swap writes asynchronously, as Linux
+// writeback does.
+func (m *Manager) reclaim(p *sim.Proc, cg *Cgroup, target int) int {
+	freed := 0
+	scanned := 0
+	var swapWrites []int64 // slots to write, coalesced at the end
+
+	// Drop lazily-freed COW sources first: free, but they cost scan work.
+	for freed < target {
+		pg := cg.lazy.back()
+		if pg == nil {
+			break
+		}
+		scanned++
+		cg.lazy.remove(pg)
+		pg.State = Untouched
+		freed++ // no frame held; still counts as progress for the scan
+	}
+
+	rounds := 0
+	for freed < target {
+		rounds++
+		if rounds > 4 {
+			break // let the caller loop; avoids unbounded passes
+		}
+		// Rebalance: keep inactive lists at least as long as active ones.
+		for cg.inactiveFile.size < cg.activeFile.size {
+			pg := cg.activeFile.back()
+			cg.activeFile.remove(pg)
+			pg.Referenced = false
+			cg.inactiveFile.pushFront(pg)
+			scanned++
+		}
+		for cg.inactiveAnon.size < cg.activeAnon.size {
+			pg := cg.activeAnon.back()
+			cg.activeAnon.remove(pg)
+			pg.Referenced = false
+			cg.inactiveAnon.pushFront(pg)
+			scanned++
+		}
+
+		// Linux prefers file pages while a meaningful number remain, but
+		// desperation falls back to whichever list can make progress
+		// (e.g. when every anon page is pinned by in-flight faults).
+		candidates := [2]*pageList{&cg.inactiveFile, &cg.inactiveAnon}
+		if cg.inactiveFile.size <= m.Cfg.MinFileFloor {
+			candidates[0], candidates[1] = candidates[1], candidates[0]
+		}
+		if candidates[0].size == 0 && candidates[1].size == 0 {
+			break // nothing evictable
+		}
+
+		freedBefore := freed
+		for _, list := range candidates {
+			if freed >= target {
+				break
+			}
+			n, sawEvictable := m.scanList(list, cg, target-freed, &scanned, &swapWrites)
+			freed += n
+			if sawEvictable {
+				// The preferred list can make progress (now or after its
+				// referenced pages age); don't raid the other list.
+				break
+			}
+		}
+
+		// If a whole batch freed nothing (e.g. the inactive list is all
+		// pinned fault pages), force-deactivate from the active lists so
+		// the next round can make progress.
+		if freed == freedBefore {
+			for _, pair := range [][2]*pageList{
+				{&cg.activeAnon, &cg.inactiveAnon},
+				{&cg.activeFile, &cg.inactiveFile},
+			} {
+				active, inactive := pair[0], pair[1]
+				for i := 0; i < m.Cfg.ReclaimBatch && active.size > 0; i++ {
+					pg := active.back()
+					active.remove(pg)
+					pg.Referenced = false
+					inactive.pushFront(pg)
+					scanned++
+				}
+			}
+		}
+	}
+
+	m.Met.Add(metrics.HostPagesScanned, int64(scanned))
+	m.Trace.Add(m.Env.Now(), trace.Reclaim, "cg=%s freed=%d scanned=%d swapwrites=%d",
+		cg.Name, freed, scanned, len(swapWrites))
+	if len(swapWrites) > 0 {
+		m.submitSwapWrites(swapWrites)
+	}
+	if p != nil && scanned > 0 {
+		p.Sleep(sim.Duration(scanned) * m.Cfg.PageScanCost)
+	}
+	// Writeback congestion: don't let a reclaimer run ahead of the disk
+	// indefinitely; wait until the queued backlog is bounded.
+	if p != nil && len(swapWrites) > 0 {
+		if backlog := m.Dev.FreeAt().Sub(m.Env.Now()); backlog > m.Cfg.WritebackCongestion {
+			p.Sleep(backlog - m.Cfg.WritebackCongestion)
+		}
+	}
+	return freed
+}
+
+// scanList evicts up to one batch from an inactive list, rotating pinned
+// and referenced pages. It returns the number of frames freed and whether
+// the list held any unpinned page (i.e. it can eventually make progress).
+func (m *Manager) scanList(list *pageList, cg *Cgroup, target int, scanned *int, swapWrites *[]int64) (int, bool) {
+	freed := 0
+	sawEvictable := false
+	batch := m.Cfg.ReclaimBatch
+	for i := 0; i < batch && freed < target && list.size > 0; i++ {
+		pg := list.back()
+		(*scanned)++
+		if pg.Pinned {
+			list.rotate(pg)
+			continue
+		}
+		sawEvictable = true
+		if pg.Referenced {
+			pg.Referenced = false
+			list.rotate(pg)
+			continue
+		}
+		switch pg.State {
+		case ResidentFile:
+			list.remove(pg)
+			pg.State = FileNonResident
+			pg.EPT = false
+			m.unchargeFrame(cg)
+			m.Met.Inc(metrics.HostFileDiscards)
+			m.Met.Inc(metrics.HostPagesReclaimed)
+			freed++
+		case ResidentAnon:
+			if pg.Dirty {
+				slot := pg.SwapSlot
+				if slot < 0 {
+					slot = m.Swap.Alloc(pg)
+					if slot < 0 {
+						list.rotate(pg) // swap full; skip
+						continue
+					}
+					pg.SwapSlot = slot
+				}
+				*swapWrites = append(*swapWrites, slot)
+				m.Met.Inc(metrics.HostSwapOuts)
+				if pg.TruthClean {
+					m.Met.Inc(metrics.SilentSwapWrites)
+				}
+			}
+			list.remove(pg)
+			pg.State = SwappedOut
+			pg.EPT = false
+			pg.Dirty = false
+			m.unchargeFrame(cg)
+			m.Met.Inc(metrics.HostPagesReclaimed)
+			freed++
+		default:
+			panic(fmt.Sprintf("hostmm: %s page on LRU", pg.State))
+		}
+	}
+	return freed, sawEvictable
+}
+
+// submitSwapWrites queues the dirty victims' slots to disk, coalescing
+// contiguous slots into single requests (Linux swap writeback clusters the
+// same way). Writes are asynchronous: the device queue delays later reads,
+// modelling writeback pressure.
+func (m *Manager) submitSwapWrites(slots []int64) {
+	// slots arrive in allocation order, which is ascending for fresh
+	// allocations but may interleave reused slots; sort-free coalescing of
+	// ascending runs is enough.
+	start := 0
+	for i := 1; i <= len(slots); i++ {
+		if i < len(slots) && slots[i] == slots[i-1]+1 {
+			continue
+		}
+		run := slots[start:i]
+		m.Dev.Submit(disk.Write, m.Swap.Phys(run[0]), len(run))
+		m.Met.Add(metrics.SwapWriteSectors, int64(len(run))*disk.SectorsPerBlock)
+		m.Met.Inc(metrics.SwapWriteOps)
+		start = i
+	}
+}
+
+// ReclaimForTest exposes reclaim for white-box tests.
+func (m *Manager) ReclaimForTest(p *sim.Proc, cg *Cgroup, target int) int {
+	return m.reclaim(p, cg, target)
+}

@@ -1,0 +1,196 @@
+package hostmm
+
+import (
+	"fmt"
+
+	"vswapsim/internal/disk"
+)
+
+// SwapArea is the host swap partition: a slot allocator over a disk region
+// plus the swap cache. Slots are handed out lowest-free-first (as Linux
+// does), which is what makes swap placement decay: the free set fragments
+// as pages cycle in and out, so consecutive guest pages stop landing in
+// consecutive slots.
+type SwapArea struct {
+	region disk.Region
+	free   []bool // free[i] == true when slot i is unallocated
+	inUse  int
+	hint   int64 // lowest slot that might be free
+
+	// Cluster allocation (Linux SWAPFILE_CLUSTER): consecutive
+	// allocations draw from a run of free slots so swap writeback stays
+	// sequential while free runs last; once the area fragments,
+	// allocation degrades to lowest-free and placement decays.
+	next        int64 // next slot inside the current cluster (-1 = none)
+	clusterEnd  int64
+	clusterHint int64 // where the next cluster search resumes
+	scanFailed  bool  // no free cluster exists until enough slots free up
+	freesSince  int   // slots freed since the last failed cluster scan
+
+	// owner maps an allocated slot to the page whose content it holds.
+	owner map[int64]*Page
+}
+
+// SlotsPerCluster mirrors Linux's SWAPFILE_CLUSTER.
+const SlotsPerCluster = 256
+
+// NewSwapArea returns a swap area over the given region.
+func NewSwapArea(region disk.Region) *SwapArea {
+	s := &SwapArea{
+		region: region,
+		free:   make([]bool, region.Blocks),
+		owner:  make(map[int64]*Page),
+		next:   -1,
+	}
+	for i := range s.free {
+		s.free[i] = true
+	}
+	return s
+}
+
+// Slots reports the total slot count.
+func (s *SwapArea) Slots() int64 { return s.region.Blocks }
+
+// InUse reports the number of allocated slots.
+func (s *SwapArea) InUse() int { return s.inUse }
+
+// Alloc assigns a slot to page pg and returns it, preferring to continue
+// the current free cluster. It returns -1 if the area is full.
+func (s *SwapArea) Alloc(pg *Page) int64 {
+	// Continue the current cluster while it has free slots.
+	if s.next >= 0 {
+		for s.next < s.clusterEnd {
+			i := s.next
+			s.next++
+			if s.free[i] {
+				return s.take(i, pg)
+			}
+		}
+		s.next = -1
+	}
+	// Find a fresh run of SlotsPerCluster free slots, resuming the search
+	// where it last left off; when the area is known fragmented, skip the
+	// scan until enough slots were freed to possibly form a cluster.
+	if !s.scanFailed {
+		if start := s.findCluster(); start >= 0 {
+			s.next = start + 1
+			s.clusterEnd = start + SlotsPerCluster
+			return s.take(start, pg)
+		}
+		s.scanFailed = true
+		s.freesSince = 0
+	}
+	// Fragmented: degrade to lowest-free (placement decay).
+	for i := s.hint; i < s.region.Blocks; i++ {
+		if s.free[i] {
+			return s.take(i, pg)
+		}
+	}
+	return -1
+}
+
+// findCluster locates a run of SlotsPerCluster free slots, scanning from
+// clusterHint with wrap-around; -1 if none exists.
+func (s *SwapArea) findCluster() int64 {
+	scan := func(from, to int64) int64 {
+		run := int64(0)
+		for i := from; i < to; i++ {
+			if s.free[i] {
+				run++
+				if run == SlotsPerCluster {
+					start := i - run + 1
+					s.clusterHint = i + 1
+					return start
+				}
+			} else {
+				run = 0
+			}
+		}
+		return -1
+	}
+	if start := scan(s.clusterHint, s.region.Blocks); start >= 0 {
+		return start
+	}
+	end := s.clusterHint + SlotsPerCluster
+	if end > s.region.Blocks {
+		end = s.region.Blocks
+	}
+	return scan(0, end)
+}
+
+func (s *SwapArea) take(i int64, pg *Page) int64 {
+	s.free[i] = false
+	if i == s.hint {
+		s.hint = i + 1
+	}
+	s.inUse++
+	s.owner[i] = pg
+	return i
+}
+
+// Free releases a slot.
+func (s *SwapArea) Free(slot int64) {
+	if slot < 0 || slot >= s.region.Blocks || s.free[slot] {
+		panic(fmt.Sprintf("hostmm: freeing bad swap slot %d", slot))
+	}
+	s.free[slot] = true
+	if slot < s.hint {
+		s.hint = slot
+	}
+	s.inUse--
+	delete(s.owner, slot)
+	if s.scanFailed {
+		s.freesSince++
+		if s.freesSince >= SlotsPerCluster {
+			s.scanFailed = false // a cluster may exist again; rescan
+		}
+	}
+}
+
+// fragmented reports whether no whole free cluster remains (used by tests
+// asserting placement decay).
+func (s *SwapArea) fragmented() bool {
+	run := int64(0)
+	for i := int64(0); i < s.region.Blocks; i++ {
+		if s.free[i] {
+			run++
+			if run >= SlotsPerCluster {
+				return false
+			}
+		} else {
+			run = 0
+		}
+	}
+	return true
+}
+
+// Owner returns the page stored at slot, or nil if the slot is free.
+func (s *SwapArea) Owner(slot int64) *Page {
+	return s.owner[slot]
+}
+
+// Phys translates a slot to a physical disk block.
+func (s *SwapArea) Phys(slot int64) int64 { return s.region.Phys(slot) }
+
+// ClusterRun returns the window of allocated slots that a swap-in at slot
+// would read in one go: Linux reads an aligned cluster of `cluster` slots
+// around the fault and skips holes. The returned slice lists the slots (in
+// ascending order, always including `slot`) grouped into maximal
+// disk-contiguous runs by the caller.
+func (s *SwapArea) ClusterRun(slot int64, cluster int) []int64 {
+	if cluster <= 1 {
+		return []int64{slot}
+	}
+	base := slot - slot%int64(cluster)
+	end := base + int64(cluster)
+	if end > s.region.Blocks {
+		end = s.region.Blocks
+	}
+	out := make([]int64, 0, cluster)
+	for i := base; i < end; i++ {
+		if !s.free[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

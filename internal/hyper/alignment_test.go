@@ -1,0 +1,52 @@
+package hyper
+
+import (
+	"testing"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// TestUnalignedIODefeatsMapper verifies the paper's §4.1 constraint: a
+// guest image formatted with 512-byte logical sectors cannot be mapped, so
+// VSwapper degrades to baseline behaviour until the image is reformatted.
+func TestUnalignedIODefeatsMapper(t *testing.T) {
+	run := func(unaligned bool) (int64, int64) {
+		m := NewMachine(MachineConfig{Seed: 1, HostMemPages: 256 * mib / 4096})
+		vm := m.NewVM(VMConfig{
+			Name:             "vm0",
+			MemPages:         64 * mib / 4096,
+			LimitPages:       16 * mib / 4096,
+			DiskBlocks:       1 << 30 / 4096,
+			Mapper:           true,
+			Preventer:        true,
+			GuestAPF:         true,
+			UnalignedGuestIO: unaligned,
+		})
+		m.Env.Go("scenario", func(p *sim.Proc) {
+			vm.Boot(p)
+			th := &guest.Thread{OS: vm.OS, P: p}
+			f := vm.OS.FS.Create("data", 32*mib)
+			th.ReadFile(f, 0, 32*mib)
+			th.FlushCPU()
+			m.Shutdown()
+		})
+		m.Run()
+		return m.Met.Get(metrics.MapperEstablish), m.Met.Get(metrics.SilentSwapWrites)
+	}
+	alignedMaps, alignedSilent := run(false)
+	unalignedMaps, unalignedSilent := run(true)
+	if alignedMaps == 0 {
+		t.Fatal("aligned guest established no mappings")
+	}
+	if unalignedMaps != 0 {
+		t.Fatalf("unaligned guest established %d mappings", unalignedMaps)
+	}
+	if alignedSilent != 0 {
+		t.Fatalf("aligned+mapper still has %d silent writes", alignedSilent)
+	}
+	if unalignedSilent == 0 {
+		t.Fatal("unaligned guest should regress to silent swap writes")
+	}
+}

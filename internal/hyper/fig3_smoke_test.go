@@ -1,0 +1,81 @@
+package hyper
+
+import (
+	"testing"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// TestFig3Shape reproduces the paper's headline example (Fig. 3): a guest
+// believing it has 512 MiB sequentially reads a 200 MiB file while the
+// host gives it only 100 MiB. Expected ordering: balloon fastest,
+// vswapper close behind, baseline an order of magnitude slower.
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size scenario")
+	}
+	run := func(mapper, preventer, balloon bool) (sim.Duration, int64) {
+		m := NewMachine(MachineConfig{Seed: 7, HostMemPages: 4 << 30 / 4096})
+		vm := m.NewVM(VMConfig{
+			Name:       "vm0",
+			MemPages:   512 << 20 / 4096,
+			LimitPages: 100 << 20 / 4096,
+			DiskBlocks: 20 << 30 / 4096,
+			Mapper:     mapper,
+			Preventer:  preventer,
+			GuestAPF:   true,
+		})
+		var elapsed sim.Duration
+		m.Env.Go("bench", func(p *sim.Proc) {
+			vm.Boot(p)
+			th := &guest.Thread{OS: vm.OS, P: p}
+			if balloon {
+				// Steady-state ballooning: the manager was active before
+				// memory pressure developed, inflated past the nominal gap
+				// so kernel + QEMU overhead fits under the cgroup limit.
+				target := (512-100)<<20/4096 + 4096
+				vm.OS.SetBalloonTarget(target)
+				for vm.OS.BalloonPages() < target {
+					p.Sleep(100 * sim.Millisecond)
+				}
+			}
+			// Warm the guest: a prior process used (and freed) all visible
+			// memory, so every free guest frame carries stale host state —
+			// the paper's "all the rest has been reclaimed by the host".
+			warm := vm.OS.NewProcess("warmup")
+			n := vm.OS.FreePages() - 2048
+			warm.Reserve(n)
+			for i := 0; i < n; i++ {
+				th.TouchAnon(warm, i, true)
+			}
+			warm.Exit()
+			f := vm.OS.FS.Create("data", 200<<20)
+			start := p.Now()
+			th.ReadFile(f, 0, 200<<20)
+			th.FlushCPU()
+			elapsed = p.Now().Sub(start)
+			m.Shutdown()
+		})
+		m.Run()
+		return elapsed, m.Met.Get(metrics.StaleSwapReads)
+	}
+
+	base, baseStale := run(false, false, false)
+	vswap, vswapStale := run(true, true, false)
+	ball, _ := run(false, false, true)
+
+	t.Logf("baseline=%v (stale=%d) vswapper=%v (stale=%d) balloon=%v",
+		base, baseStale, vswap, vswapStale, ball)
+
+	if vswapStale != 0 {
+		t.Errorf("vswapper has %d stale reads", vswapStale)
+	}
+	if !(ball <= vswap && vswap < base) {
+		t.Errorf("ordering violated: balloon=%v vswapper=%v baseline=%v", ball, vswap, base)
+	}
+	if float64(base)/float64(vswap) < 3 {
+		t.Errorf("vswapper speedup only %.1fx; paper shows ~10x", float64(base)/float64(vswap))
+	}
+}

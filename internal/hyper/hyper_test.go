@@ -1,0 +1,337 @@
+package hyper
+
+import (
+	"testing"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hostmm"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// testVM builds a 64 MiB-believed guest limited to limitMiB actual, with
+// the given VSwapper components, and runs fn as a guest thread.
+func testVM(t *testing.T, limitMiB int, mapper, preventer bool, fn func(vm *VM, th *guest.Thread)) (*Machine, *VM) {
+	t.Helper()
+	m := NewMachine(MachineConfig{
+		Seed:         1,
+		HostMemPages: 256 << 20 / 4096, // plenty of host RAM; cgroup constrains
+	})
+	vm := m.NewVM(VMConfig{
+		Name:       "vm0",
+		MemPages:   64 << 20 / 4096,
+		LimitPages: limitMiB << 20 / 4096,
+		DiskBlocks: 1 << 30 / 4096,
+		Mapper:     mapper,
+		Preventer:  preventer,
+		GuestAPF:   true,
+	})
+	m.Env.Go("scenario", func(p *sim.Proc) {
+		vm.Boot(p)
+		th := &guest.Thread{OS: vm.OS, P: p}
+		fn(vm, th)
+		th.FlushCPU()
+		m.Shutdown()
+	})
+	m.Run()
+	return m, vm
+}
+
+const mib = 1 << 20
+
+func TestBaselineSilentSwapWrites(t *testing.T) {
+	// Guest reads a 32 MiB file but has only 16 MiB: the host swaps out
+	// clean page-cache pages, writing unchanged data to its swap area.
+	m, _ := testVM(t, 16, false, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+	})
+	if m.Met.Get(metrics.SilentSwapWrites) == 0 {
+		t.Fatal("baseline produced no silent swap writes")
+	}
+	if m.Met.Get(metrics.SwapWriteSectors) == 0 {
+		t.Fatal("no swap write traffic")
+	}
+}
+
+func TestMapperEliminatesSilentWrites(t *testing.T) {
+	m, _ := testVM(t, 16, true, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+	})
+	if got := m.Met.Get(metrics.SilentSwapWrites); got != 0 {
+		t.Fatalf("mapper config produced %d silent writes", got)
+	}
+	if m.Met.Get(metrics.HostFileDiscards) == 0 {
+		t.Fatal("mapper reclaim should discard named pages")
+	}
+}
+
+func TestBaselineStaleSwapReads(t *testing.T) {
+	// Read the file twice with the guest dropping its cache in between:
+	// the second pass issues explicit reads into host-swapped frames.
+	m, _ := testVM(t, 16, false, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		vm.OS.DropCaches()
+		th.ReadFile(f, 0, 32*mib)
+	})
+	if m.Met.Get(metrics.StaleSwapReads) == 0 {
+		t.Fatal("baseline produced no stale swap reads")
+	}
+}
+
+func TestMapperEliminatesStaleReads(t *testing.T) {
+	m, _ := testVM(t, 16, true, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		vm.OS.DropCaches()
+		th.ReadFile(f, 0, 32*mib)
+	})
+	if got := m.Met.Get(metrics.StaleSwapReads); got != 0 {
+		t.Fatalf("mapper config produced %d stale reads", got)
+	}
+}
+
+func TestBaselineFalseSwapReads(t *testing.T) {
+	// Fill memory with file cache, drop it in the guest, then allocate
+	// anonymous memory: recycled GFNs are host-swapped, and zeroing them
+	// faults old content in.
+	m, _ := testVM(t, 16, false, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		vm.OS.DropCaches()
+		pr := vm.OS.NewProcess("alloc")
+		pr.Reserve(16 * mib / 4096)
+		for i := 0; i < 16*mib/4096; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+	})
+	if m.Met.Get(metrics.FalseSwapReads) == 0 {
+		t.Fatal("baseline produced no false swap reads")
+	}
+}
+
+func TestPreventerEliminatesFalseReads(t *testing.T) {
+	m, _ := testVM(t, 16, true, true, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		vm.OS.DropCaches()
+		pr := vm.OS.NewProcess("alloc")
+		pr.Reserve(16 * mib / 4096)
+		for i := 0; i < 16*mib/4096; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+	})
+	if got := m.Met.Get(metrics.FalseSwapReads); got != 0 {
+		t.Fatalf("vswapper produced %d false reads", got)
+	}
+	if m.Met.Get(metrics.PreventerRemaps) == 0 {
+		t.Fatal("preventer performed no remaps")
+	}
+}
+
+func TestFalsePageAnonymity(t *testing.T) {
+	// Under baseline pressure, QEMU's text pages (the only named memory)
+	// are evicted and refault in host context.
+	m, _ := testVM(t, 16, false, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 48*mib)
+		for iter := 0; iter < 3; iter++ {
+			th.ReadFile(f, 0, 48*mib)
+		}
+	})
+	if m.Met.Get(metrics.HostFaultsInHost) == 0 {
+		t.Fatal("no host-context faults: text thrash not modelled")
+	}
+}
+
+func TestVSwapperSpeedsUpRereads(t *testing.T) {
+	scenario := func(mapper, preventer bool) sim.Duration {
+		var elapsed sim.Duration
+		testVM(t, 16, mapper, preventer, func(vm *VM, th *guest.Thread) {
+			f := vm.OS.FS.Create("data", 32*mib)
+			th.ReadFile(f, 0, 32*mib) // populate
+			start := th.P.Now()
+			for i := 0; i < 3; i++ {
+				th.ReadFile(f, 0, 32*mib) // re-read from guest "cache"
+			}
+			th.FlushCPU()
+			elapsed = th.P.Now().Sub(start)
+		})
+		return elapsed
+	}
+	base := scenario(false, false)
+	vswap := scenario(true, true)
+	if vswap >= base {
+		t.Fatalf("vswapper (%v) not faster than baseline (%v)", vswap, base)
+	}
+	if base < 2*vswap {
+		t.Logf("note: baseline %v vs vswapper %v (<2x)", base, vswap)
+	}
+}
+
+func TestNoOverheadWhenMemoryPlentiful(t *testing.T) {
+	scenario := func(mapper, preventer bool) sim.Duration {
+		var elapsed sim.Duration
+		testVM(t, 0 /* uncapped */, mapper, preventer, func(vm *VM, th *guest.Thread) {
+			f := vm.OS.FS.Create("data", 32*mib)
+			start := th.P.Now()
+			th.ReadFile(f, 0, 32*mib)
+			th.ReadFile(f, 0, 32*mib)
+			th.FlushCPU()
+			elapsed = th.P.Now().Sub(start)
+		})
+		return elapsed
+	}
+	base := scenario(false, false)
+	vswap := scenario(true, true)
+	slowdown := float64(vswap) / float64(base)
+	if slowdown > 1.05 {
+		t.Fatalf("vswapper overhead %.1f%% with plentiful memory", (slowdown-1)*100)
+	}
+}
+
+func TestBallooningAvoidsHostSwapping(t *testing.T) {
+	m, vm := testVM(t, 16, false, false, func(vm *VM, th *guest.Thread) {
+		// Inflate so the guest self-limits to its actual allocation.
+		vm.OS.SetBalloonTarget((64 - 16) * mib / 4096)
+		for vm.OS.BalloonPages() < (64-16)*mib/4096 {
+			th.P.Sleep(50 * sim.Millisecond)
+		}
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+	})
+	if got := m.Met.Get(metrics.HostSwapOuts); got > 100 {
+		t.Fatalf("host swapped %d pages despite ballooning", got)
+	}
+	if vm.CG.Resident() > vm.Cfg.LimitPages {
+		t.Fatal("cgroup limit exceeded")
+	}
+}
+
+func TestBalloonDeflateGivesMemoryBack(t *testing.T) {
+	_, vm := testVM(t, 64, false, false, func(vm *VM, th *guest.Thread) {
+		target := 32 * mib / 4096
+		vm.OS.SetBalloonTarget(target)
+		for vm.OS.BalloonPages() < target {
+			th.P.Sleep(50 * sim.Millisecond)
+		}
+		vm.OS.SetBalloonTarget(0)
+		for vm.OS.BalloonPages() > 0 {
+			th.P.Sleep(50 * sim.Millisecond)
+		}
+		// Guest can use the memory again.
+		pr := vm.OS.NewProcess("app")
+		pr.Reserve(1000)
+		for i := 0; i < 1000; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+		if pr.Killed {
+			t.Error("allocation failed after deflate")
+		}
+	})
+	_ = vm
+}
+
+func TestGuestWriteThenHostReclaimIsNotSilent(t *testing.T) {
+	// Pages the guest actually dirtied (anon) are not silent when swapped.
+	m, _ := testVM(t, 8, false, false, func(vm *VM, th *guest.Thread) {
+		pr := vm.OS.NewProcess("hog")
+		n := 24 * mib / 4096
+		pr.Reserve(n)
+		for i := 0; i < n; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+	})
+	outs := m.Met.Get(metrics.HostSwapOuts)
+	silent := m.Met.Get(metrics.SilentSwapWrites)
+	if outs == 0 {
+		t.Fatal("no swap-outs")
+	}
+	if silent != 0 {
+		t.Fatalf("%d/%d swap writes marked silent for dirty anon pages", silent, outs)
+	}
+}
+
+func TestMapperConsistencyOnOverwrite(t *testing.T) {
+	// Guest writes new content over file blocks whose old content is
+	// still mapped (non-resident): the mapper must invalidate, not serve
+	// the new bytes to the old page.
+	m, vm0 := testVM(t, 16, true, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 4*mib)
+		th.ReadFile(f, 0, 4*mib)
+		// The guest forgets the blocks, but the host-side mappings made by
+		// the Mapper survive on the old GFNs.
+		vm.OS.DropCaches()
+		// O_DIRECT-style rewrite of block 0 from an unrelated buffer page:
+		// the explicit write hits a block another page still maps, so C0
+		// must be rescued and the mapping broken before the write lands.
+		buffer := vm.OS.Cfg.MemPages - 1 // a never-used GFN
+		vm.DiskWrite(th.P, []int{buffer}, f.Block(0))
+	})
+	if m.Met.Get(metrics.MapperInvalidate) == 0 {
+		t.Fatal("no invalidations despite overwriting mapped blocks")
+	}
+	_ = vm0
+}
+
+func TestWindowsProfileNoAPFStillWorks(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 1, HostMemPages: 256 * mib / 4096})
+	vm := m.NewVM(VMConfig{
+		Name:       "win0",
+		MemPages:   64 * mib / 4096,
+		LimitPages: 16 * mib / 4096,
+		DiskBlocks: 1 << 30 / 4096,
+		GuestAPF:   false,
+	})
+	m.Env.Go("scenario", func(p *sim.Proc) {
+		vm.Boot(p)
+		th := &guest.Thread{OS: vm.OS, P: p}
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		th.FlushCPU()
+		m.Shutdown()
+	})
+	m.Run()
+	if m.Met.Get(metrics.HostFaultsInGuest) == 0 {
+		t.Fatal("expected EPT faults")
+	}
+}
+
+func TestEPTDirtyBitsAblationSkipsRewrite(t *testing.T) {
+	// With hardware dirty bits the host need not rewrite clean pages on
+	// re-eviction, so swap write traffic drops.
+	run := func(dirtyBits bool) int64 {
+		m := NewMachine(MachineConfig{
+			Seed:         1,
+			HostMemPages: 256 * mib / 4096,
+			Host:         hostmm.Config{EPTDirtyBits: dirtyBits},
+		})
+		vm := m.NewVM(VMConfig{
+			Name:       "vm0",
+			MemPages:   64 * mib / 4096,
+			LimitPages: 16 * mib / 4096,
+			DiskBlocks: 1 << 30 / 4096,
+			GuestAPF:   true,
+		})
+		m.Env.Go("scenario", func(p *sim.Proc) {
+			vm.Boot(p)
+			th := &guest.Thread{OS: vm.OS, P: p}
+			f := vm.OS.FS.Create("data", 32*mib)
+			for i := 0; i < 3; i++ {
+				th.ReadFile(f, 0, 32*mib)
+			}
+			th.FlushCPU()
+			m.Shutdown()
+		})
+		m.Run()
+		return m.Met.Get(metrics.SwapWriteSectors)
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("dirty bits did not reduce swap writes: %d vs %d", with, without)
+	}
+}

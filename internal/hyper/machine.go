@@ -1,0 +1,99 @@
+// Package hyper assembles the virtual machine monitor: the physical host
+// (disk, frame pool, host MM), per-guest QEMU processes (cgroup, disk
+// image, executable pages), the virtio disk emulation path, and the
+// EPT-violation fault path. VSwapper (internal/core) plugs into the virtio
+// and fault paths exactly where the paper inserts it.
+package hyper
+
+import (
+	"vswapsim/internal/disk"
+	"vswapsim/internal/hostmm"
+	"vswapsim/internal/mem"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/trace"
+)
+
+// MachineConfig sizes the physical host.
+type MachineConfig struct {
+	// Seed drives all experiment randomness.
+	Seed uint64
+	// HostMemPages is the physical memory size in pages.
+	HostMemPages int
+	// HostSwapPages is the host swap partition size in pages.
+	HostSwapPages int64
+	// Disk selects the drive latency model (default Constellation 7200).
+	Disk disk.LatencyModel
+	// Host configures the host memory manager.
+	Host hostmm.Config
+}
+
+// Machine is one physical host.
+type Machine struct {
+	Env    *sim.Env
+	Met    *metrics.Set
+	Dev    *disk.Device
+	Layout *disk.Layout
+	Pool   *mem.FramePool
+	MM     *hostmm.Manager
+	VMs    []*VM
+
+	stopKswapd func()
+	trace      *trace.Ring
+}
+
+// NewMachine builds a host.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.HostMemPages <= 0 {
+		panic("hyper: HostMemPages must be positive")
+	}
+	if cfg.HostSwapPages == 0 {
+		cfg.HostSwapPages = 4 << 20 / 4 // 4 GiB default
+	}
+	if cfg.Disk.TotalBlocks == 0 {
+		cfg.Disk = disk.Constellation7200()
+	}
+	env := sim.NewEnv(cfg.Seed)
+	met := metrics.NewSet()
+	dev := disk.NewDevice(env, cfg.Disk, met)
+	layout := disk.NewLayout(cfg.Disk.TotalBlocks)
+	swapRegion := layout.Reserve("host-swap", cfg.HostSwapPages)
+	pool := mem.NewFramePool(cfg.HostMemPages)
+	mm := hostmm.NewManager(env, met, dev, pool, hostmm.NewSwapArea(swapRegion), cfg.Host)
+	m := &Machine{
+		Env:    env,
+		Met:    met,
+		Dev:    dev,
+		Layout: layout,
+		Pool:   pool,
+		MM:     mm,
+	}
+	m.stopKswapd = mm.StartKswapd(hostmm.DefaultKswapdConfig())
+	return m
+}
+
+// EnableTrace attaches a bounded event trace to the host MM and every
+// guest kernel — including guests created after this call; it returns the
+// ring for inspection.
+func (m *Machine) EnableTrace(capacity int) *trace.Ring {
+	r := trace.New(capacity)
+	m.MM.Trace = r
+	m.trace = r
+	for _, vm := range m.VMs {
+		vm.OS.Trace = r
+	}
+	return r
+}
+
+// Run drives the simulation to completion and returns the final time.
+func (m *Machine) Run() sim.Time { return m.Env.Run() }
+
+// Shutdown stops all guest and host daemons so Run can drain.
+func (m *Machine) Shutdown() {
+	for _, vm := range m.VMs {
+		vm.OS.Shutdown()
+	}
+	if m.stopKswapd != nil {
+		m.stopKswapd()
+	}
+}

@@ -1,0 +1,47 @@
+package hyper
+
+import (
+	"testing"
+
+	"vswapsim/internal/guest"
+)
+
+func TestMigrationPlanClassification(t *testing.T) {
+	// With the Mapper, a read-heavy guest should be mostly mapping-only +
+	// skippable: migration barely moves content.
+	_, vm := testVM(t, 32, true, true, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 24*mib)
+		th.ReadFile(f, 0, 24*mib)
+	})
+	plan := vm.PlanMigration()
+	if plan.TotalPages != vm.Cfg.MemPages {
+		t.Fatalf("total = %d", plan.TotalPages)
+	}
+	sum := plan.TransferPages + plan.MappingOnly + plan.SwapBacked + plan.Skippable
+	if sum != plan.TotalPages {
+		t.Fatalf("classification leaks pages: %d != %d", sum, plan.TotalPages)
+	}
+	if plan.MappingOnly < 24*mib/4096/2 {
+		t.Fatalf("expected most cached pages mapping-only, got %d", plan.MappingOnly)
+	}
+	if plan.TransferBytes() >= plan.NaiveTransferBytes() {
+		t.Fatalf("mapping migration (%d B) not cheaper than naive (%d B)",
+			plan.TransferBytes(), plan.NaiveTransferBytes())
+	}
+}
+
+func TestMigrationPlanBaselineMovesEverything(t *testing.T) {
+	// Without the Mapper every touched page is anonymous: the plan cannot
+	// save wire bytes.
+	_, vm := testVM(t, 32, false, false, func(vm *VM, th *guest.Thread) {
+		f := vm.OS.FS.Create("data", 24*mib)
+		th.ReadFile(f, 0, 24*mib)
+	})
+	plan := vm.PlanMigration()
+	if plan.MappingOnly > vm.Cfg.TextPages {
+		t.Fatalf("baseline guest has %d mapping-only pages (only QEMU text expected)", plan.MappingOnly)
+	}
+	if plan.TransferPages+plan.SwapBacked == 0 {
+		t.Fatal("nothing to transfer?")
+	}
+}

@@ -1,0 +1,95 @@
+package hyper
+
+import (
+	"testing"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/trace"
+)
+
+// TestDiskWriteFaultsSwappedSource: writing out a page the host already
+// reclaimed is a legitimate read, not a stale read.
+func TestDiskWriteFaultsSwappedSource(t *testing.T) {
+	m, _ := testVM(t, 8, false, false, func(vm *VM, th *guest.Thread) {
+		pr := vm.OS.NewProcess("app")
+		n := 24 * mib / 4096
+		pr.Reserve(n)
+		for i := 0; i < n; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+		// Force guest-side writeback of (host-swapped) anon pages by
+		// ballooning nothing — instead write a file larger than memory so
+		// dirty cache pages go out while their frames were host-reclaimed.
+		f := vm.OS.FS.Create("out", 16*mib)
+		th.WriteFile(f, 0, 16*mib)
+		th.Sync(f)
+	})
+	if m.Met.Get(metrics.StaleSwapReads) != 0 {
+		t.Fatalf("writeback counted as stale reads: %d", m.Met.Get(metrics.StaleSwapReads))
+	}
+	if m.Met.Get(metrics.HostSwapIns) == 0 {
+		t.Fatal("expected legitimate swap-ins for DMA sources")
+	}
+}
+
+// TestBalloonTakesEmulatedPage: a GFN freed by the guest while still under
+// write emulation can be donated to the balloon without corrupting state.
+func TestBalloonTakesEmulatedPage(t *testing.T) {
+	m, vm := testVM(t, 8, true, true, func(vm *VM, th *guest.Thread) {
+		// Create host-swapped pages, then write partially (starts
+		// emulation), free, and balloon the freed memory.
+		pr := vm.OS.NewProcess("app")
+		n := 24 * mib / 4096
+		pr.Reserve(n)
+		for i := 0; i < n; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+		// Partial writes to host-swapped pages start emulation.
+		for i := 0; i < 16; i++ {
+			th.WriteAnonSpan(pr, i, 0, 512)
+		}
+		pr.Exit()
+		vm.OS.SetBalloonTarget(n)
+		for vm.OS.BalloonPages() < vm.OS.BalloonTarget() {
+			th.P.Sleep(50 * 1000 * 1000) // 50ms
+		}
+	})
+	if err := m.MM.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = vm
+}
+
+// TestTraceCapturesActivity smoke-tests the end-to-end trace plumbing.
+func TestTraceCapturesActivity(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 1, HostMemPages: 256 * mib / 4096})
+	vm := m.NewVM(VMConfig{
+		Name:       "vm0",
+		MemPages:   64 * mib / 4096,
+		LimitPages: 16 * mib / 4096,
+		DiskBlocks: 1 << 30 / 4096,
+		GuestAPF:   true,
+	})
+	ring := m.EnableTrace(4096)
+	m.Env.Go("scenario", func(p *sim.Proc) {
+		vm.Boot(p)
+		th := &guest.Thread{OS: vm.OS, P: p}
+		f := vm.OS.FS.Create("data", 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		th.ReadFile(f, 0, 32*mib)
+		th.FlushCPU()
+		m.Shutdown()
+	})
+	m.Run()
+	if ring.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(ring.Filter(trace.Reclaim)) == 0 {
+		t.Fatal("no reclaim events")
+	}
+	if len(ring.Filter(trace.Fault)) == 0 {
+		t.Fatal("no fault events")
+	}
+}

@@ -1,0 +1,66 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesRoundsUp(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {200 * MiB, 51200},
+	}
+	for _, c := range cases {
+		if got := Pages(c.bytes); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestBytesPagesRoundTrip(t *testing.T) {
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw)
+		return Pages(Bytes(n)) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramePoolAccounting(t *testing.T) {
+	p := NewFramePool(100)
+	p.Grab(40)
+	if p.Used() != 40 || p.Free() != 60 {
+		t.Fatalf("used=%d free=%d", p.Used(), p.Free())
+	}
+	p.Release(15)
+	if p.Used() != 25 {
+		t.Fatalf("used=%d", p.Used())
+	}
+	if p.Capacity() != 100 {
+		t.Fatalf("capacity=%d", p.Capacity())
+	}
+}
+
+func TestFramePoolOverdrawPanics(t *testing.T) {
+	p := NewFramePool(10)
+	p.Grab(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Grab(1)
+}
+
+func TestFramePoolOverReleasePanics(t *testing.T) {
+	p := NewFramePool(10)
+	p.Grab(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Release(6)
+}

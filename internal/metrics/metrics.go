@@ -1,0 +1,213 @@
+// Package metrics collects the counters and time series that the
+// evaluation reports. Every layer of the simulator (disk, host MM, guest
+// OS, hypervisor, VSwapper) increments counters in a shared Set so that an
+// experiment can read, e.g., "host page faults while host code runs" the
+// same way the paper does (Fig. 9b).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vswapsim/internal/sim"
+)
+
+// Counter names used across the simulator. Keeping them centralized makes
+// experiment code self-documenting and avoids typo'd string keys.
+const (
+	// Disk-level traffic.
+	DiskOps           = "disk.ops"           // physical requests issued
+	DiskReadSectors   = "disk.read.sectors"  // 512-byte sectors read
+	DiskWriteSectors  = "disk.write.sectors" // 512-byte sectors written
+	DiskBusy          = "disk.busy.ns"       // total device busy time
+	SwapReadSectors   = "hostswap.read.sectors"
+	SwapWriteSectors  = "hostswap.write.sectors" // Fig. 9d "silent writes"
+	SwapReadOps       = "hostswap.read.ops"
+	SwapWriteOps      = "hostswap.write.ops"
+	ImageReadSectors  = "image.read.sectors"
+	ImageWriteSectors = "image.write.sectors"
+
+	// Host memory management.
+	HostFaultsInHost  = "host.faults.hostctx"  // faults while host/QEMU code runs (Fig. 9b)
+	HostFaultsInGuest = "host.faults.guestctx" // EPT violations while guest runs
+	// HostMajorInGuest counts only the EPT violations that needed disk
+	// I/O — what Fig. 9c actually plots ("every such page fault
+	// immediately translates into a disk read").
+	HostMajorInGuest   = "host.faults.guestctx.major"
+	HostMajorFaults    = "host.faults.major" // faults requiring disk I/O
+	HostMinorFaults    = "host.faults.minor"
+	HostPagesScanned   = "host.reclaim.scanned" // Fig. 11c
+	HostPagesReclaimed = "host.reclaim.pages"
+	HostSwapOuts       = "host.swap.out.pages"
+	HostSwapIns        = "host.swap.in.pages"
+	HostFileDiscards   = "host.reclaim.discards" // named pages dropped without write
+	HostCOWBreaks      = "host.cow.breaks"
+	HostSwapPrefetched = "host.swap.prefetch.pages"
+	HostFilePrefetched = "host.file.prefetch.pages"
+	HostPrefetchHits   = "host.prefetch.hits"
+
+	// Pathology-specific counters (for the demonstration experiments).
+	SilentSwapWrites = "patho.silent.writes"
+	StaleSwapReads   = "patho.stale.reads"
+	FalseSwapReads   = "patho.false.reads"
+
+	// Guest-side.
+	GuestMajorFaults  = "guest.faults.major"
+	GuestSwapOuts     = "guest.swap.out.pages"
+	GuestSwapIns      = "guest.swap.in.pages"
+	GuestCacheDrops   = "guest.cache.drops"
+	GuestReadaheadPgs = "guest.readahead.pages"
+	GuestOOMKills     = "guest.oom.kills"
+
+	// VSwapper.
+	MapperTracked    = "vswap.mapper.tracked.pages" // gauge-like, sampled
+	MapperBreaks     = "vswap.mapper.assoc.breaks"
+	MapperEstablish  = "vswap.mapper.assoc.established"
+	MapperInvalidate = "vswap.mapper.invalidations"
+	PreventerStarts  = "vswap.preventer.emulations"
+	PreventerRemaps  = "vswap.preventer.remaps" // fully buffered pages (Fig. 12b)
+	PreventerMerges  = "vswap.preventer.merges" // timed out / non-seq, disk merge
+	PreventerWrites  = "vswap.preventer.buffered.writes"
+
+	// Balloon.
+	BalloonInflatePages = "balloon.inflate.pages"
+	BalloonDeflatePages = "balloon.deflate.pages"
+)
+
+// Set is a bag of named counters plus optional time series. The zero value
+// is not usable; create one with NewSet.
+type Set struct {
+	counters map[string]int64
+	series   map[string]*Series
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]int64),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta int64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the current value of counter name (zero if never written).
+func (s *Set) Get(name string) int64 { return s.counters[name] }
+
+// Reset zeroes every counter but keeps time series intact.
+func (s *Set) Reset() {
+	for k := range s.counters {
+		s.counters[k] = 0
+	}
+}
+
+// Snapshot returns a copy of all counters, e.g. to diff across phases.
+func (s *Set) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Diff returns counter deltas since the given snapshot.
+func (s *Set) Diff(since map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range s.counters {
+		if d := v - since[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Series returns (creating if needed) the named time series.
+func (s *Set) Series(name string) *Series {
+	sr, ok := s.series[name]
+	if !ok {
+		sr = &Series{name: name}
+		s.series[name] = sr
+	}
+	return sr
+}
+
+// String renders the non-zero counters sorted by name, one per line.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for k, v := range s.counters {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", k, s.counters[k])
+	}
+	return b.String()
+}
+
+// Point is one sample in a time series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only sequence of (time, value) samples, used for
+// figures plotted against time (Fig. 15) or iteration.
+type Series struct {
+	name   string
+	points []Point
+}
+
+// Name returns the series name.
+func (sr *Series) Name() string { return sr.name }
+
+// Record appends a sample.
+func (sr *Series) Record(at sim.Time, v float64) {
+	sr.points = append(sr.points, Point{At: at, Value: v})
+}
+
+// Points returns the recorded samples in order.
+func (sr *Series) Points() []Point { return sr.points }
+
+// Len returns the number of samples.
+func (sr *Series) Len() int { return len(sr.points) }
+
+// Last returns the most recent sample value, or 0 if empty.
+func (sr *Series) Last() float64 {
+	if len(sr.points) == 0 {
+		return 0
+	}
+	return sr.points[len(sr.points)-1].Value
+}
+
+// Max returns the largest sample value, or 0 if empty.
+func (sr *Series) Max() float64 {
+	m := 0.0
+	for _, p := range sr.points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of sample values, or 0 if empty.
+func (sr *Series) Mean() float64 {
+	if len(sr.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range sr.points {
+		sum += p.Value
+	}
+	return sum / float64(len(sr.points))
+}

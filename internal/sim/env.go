@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a discrete-event simulation environment. It owns the virtual
+// clock, the pending-event queue and the set of live processes. An Env is
+// not safe for concurrent use: exactly one process (or event callback) runs
+// at a time, which is what makes runs deterministic.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *RNG
+
+	liveProcs int
+	blocked   int // procs waiting on a Signal (not a timer)
+	procPanic interface{}
+}
+
+// NewEnv returns an environment with the clock at zero and the PRNG seeded
+// with seed. The same seed always produces the same run.
+func NewEnv(seed uint64) *Env {
+	return &Env{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic PRNG.
+func (e *Env) Rand() *RNG { return e.rng }
+
+// Schedule arranges for fn to run after delay d. Callbacks run on the
+// scheduler itself, so they must not block; use Go for blocking logic.
+func (e *Env) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+}
+
+// ScheduleAt arranges for fn to run at absolute time t (not before now).
+func (e *Env) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.Schedule(t.Sub(e.now), fn)
+}
+
+// Run drives the simulation until no events remain. It returns the final
+// virtual time. If processes remain blocked on signals that can never fire,
+// Run panics, as that is always a bug in the model.
+func (e *Env) Run() Time {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil drives the simulation until the event queue is empty or the next
+// event would fire after the deadline. Events exactly at the deadline run.
+func (e *Env) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if next.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if e.liveProcs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at %v", e.liveProcs, e.now))
+	}
+	return e.now
+}
+
+// Idle reports whether no events are pending.
+func (e *Env) Idle() bool { return len(e.events) == 0 }
+
+// Proc is a simulated process: a goroutine that runs exclusively between
+// blocking points. All blocking methods must be called from the process's
+// own goroutine.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{} // scheduler -> proc
+	yield  chan struct{} // proc -> scheduler
+	dead   bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go starts fn as a new simulated process at the current virtual time.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.liveProcs++
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			// A panic in a process must surface on the scheduler instead
+			// of deadlocking the handshake.
+			if r := recover(); r != nil {
+				e.procPanic = fmt.Sprintf("%v\n\nprocess goroutine stack:\n%s", r, debug.Stack())
+			}
+			p.dead = true
+			e.liveProcs--
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { p.dispatch() })
+	return p
+}
+
+// dispatch hands the CPU to the process and waits until it blocks again or
+// terminates. Called only from the scheduler.
+func (p *Proc) dispatch() {
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.env.procPanic != nil {
+		r := p.env.procPanic
+		p.env.procPanic = nil
+		panic(r)
+	}
+}
+
+// block suspends the calling process until dispatch is invoked again.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.Schedule(d, func() { p.dispatch() })
+	p.block()
+}
+
+// SleepUntil suspends the process until absolute virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.Sleep(t.Sub(p.env.now))
+}
+
+// Signal is a broadcast condition in virtual time. Processes wait on it;
+// any code may Broadcast to wake all current waiters at the present time.
+// The zero value is not usable; create signals with NewSignal.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait suspends p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.env.blocked++
+	p.block()
+}
+
+// Broadcast wakes every process currently waiting on the signal. Waiters
+// resume in the order they began waiting, at the current virtual time.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		w := w
+		s.env.blocked--
+		s.env.Schedule(0, func() { w.dispatch() })
+	}
+}
+
+// Pending reports how many processes are waiting on the signal.
+func (s *Signal) Pending() int { return len(s.waiters) }

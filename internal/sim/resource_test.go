@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+func TestResourceExclusive(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	var order []string
+	env.Go("a", func(p *Proc) {
+		r.Acquire(p)
+		order = append(order, "a-in")
+		p.Sleep(2 * Second)
+		order = append(order, "a-out")
+		r.Release()
+	})
+	env.Go("b", func(p *Proc) {
+		p.Sleep(Second)
+		r.Acquire(p)
+		order = append(order, "b-in")
+		if p.Now() != Time(2*Second) {
+			t.Errorf("b acquired at %v, want 2s", p.Now())
+		}
+		r.Release()
+	})
+	env.Run()
+	want := []string{"a-in", "a-out", "b-in"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	var got []int
+	env.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * Second)
+		r.Release()
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i+1) * Second) // arrive in order
+			r.Acquire(p)
+			got = append(got, i)
+			r.Release()
+		})
+	}
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestResourceCapacity(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 2)
+	maxConcurrent := 0
+	cur := 0
+	for i := 0; i < 6; i++ {
+		env.Go("w", func(p *Proc) {
+			r.Acquire(p)
+			cur++
+			if cur > maxConcurrent {
+				maxConcurrent = cur
+			}
+			p.Sleep(Second)
+			cur--
+			r.Release()
+		})
+	}
+	env.Run()
+	if maxConcurrent != 2 {
+		t.Fatalf("max concurrent = %d, want 2", maxConcurrent)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release should succeed")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Release()
+}

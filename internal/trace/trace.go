@@ -1,0 +1,152 @@
+// Package trace provides a lightweight event recorder for debugging and
+// observability: simulator layers emit typed events into a bounded ring,
+// and tests or tools dump the tail when something looks wrong. Tracing is
+// off by default and costs one branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"vswapsim/internal/sim"
+)
+
+// Kind classifies events for filtering.
+type Kind uint8
+
+const (
+	// Fault is any host-side page fault handling.
+	Fault Kind = iota
+	// Reclaim covers eviction decisions.
+	Reclaim
+	// DiskIO covers physical device requests.
+	DiskIO
+	// Balloon covers inflate/deflate traffic.
+	Balloon
+	// Preventer covers write-emulation lifecycle events.
+	Preventer
+	// Mapper covers mapping establishment/invalidation.
+	Mapper
+	// OOM covers guest kill decisions.
+	OOM
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Fault:
+		return "fault"
+	case Reclaim:
+		return "reclaim"
+	case DiskIO:
+		return "disk"
+	case Balloon:
+		return "balloon"
+	case Preventer:
+		return "preventer"
+	case Mapper:
+		return "mapper"
+	case OOM:
+		return "oom"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Msg  string
+}
+
+// Ring is a bounded in-memory trace. The zero value is disabled; create
+// one with New.
+type Ring struct {
+	events  []Event
+	next    int
+	wrapped bool
+	enabled [numKinds]bool
+}
+
+// New returns a ring holding the most recent capacity events, with all
+// kinds enabled.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	r := &Ring{events: make([]Event, capacity)}
+	for k := range r.enabled {
+		r.enabled[k] = true
+	}
+	return r
+}
+
+// Enable toggles recording of one kind.
+func (r *Ring) Enable(k Kind, on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled[k] = on
+}
+
+// Add records an event. A nil ring is a no-op, so call sites can hold an
+// optional *Ring without guards.
+func (r *Ring) Add(at sim.Time, k Kind, format string, args ...interface{}) {
+	if r == nil || !r.enabled[k] {
+		return
+	}
+	r.events[r.next] = Event{At: at, Kind: k, Msg: fmt.Sprintf(format, args...)}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Len reports the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.wrapped {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// String dumps the retained events, one per line.
+func (r *Ring) String() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "%-14v %-9s %s\n", e.At, e.Kind, e.Msg)
+	}
+	return b.String()
+}
+
+// Filter returns only the events of kind k, oldest first.
+func (r *Ring) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vswapsim/internal/sim"
+)
+
+func TestNilRingIsNoop(t *testing.T) {
+	var r *Ring
+	r.Add(0, Fault, "x")   // must not panic
+	r.Enable(Fault, false) // must not panic
+	if r.Len() != 0 || r.Events() != nil || r.Filter(Fault) != nil {
+		t.Fatal("nil ring not empty")
+	}
+}
+
+func TestRecordAndDump(t *testing.T) {
+	r := New(8)
+	r.Add(sim.Time(sim.Second), Fault, "gfn %d", 42)
+	r.Add(sim.Time(2*sim.Second), Reclaim, "evict")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	out := r.String()
+	if !strings.Contains(out, "gfn 42") || !strings.Contains(out, "reclaim") {
+		t.Fatalf("dump: %q", out)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Add(sim.Time(i), Fault, "e%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	if ev[0].Msg != "e6" || ev[3].Msg != "e9" {
+		t.Fatalf("wrap order wrong: %v", ev)
+	}
+}
+
+func TestKindFilterAndDisable(t *testing.T) {
+	r := New(16)
+	r.Enable(DiskIO, false)
+	r.Add(0, DiskIO, "dropped")
+	r.Add(0, Mapper, "kept")
+	r.Add(0, OOM, "kept too")
+	if got := len(r.Filter(DiskIO)); got != 0 {
+		t.Fatalf("disabled kind recorded %d", got)
+	}
+	if got := len(r.Filter(Mapper)); got != 1 {
+		t.Fatalf("mapper events = %d", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestEventsOrderedProperty(t *testing.T) {
+	if err := quick.Check(func(nRaw uint8, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		n := int(nRaw)
+		r := New(capacity)
+		for i := 0; i < n; i++ {
+			r.Add(sim.Time(i), Fault, "")
+		}
+		ev := r.Events()
+		for i := 1; i < len(ev); i++ {
+			if ev[i].At < ev[i-1].At {
+				return false
+			}
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		return len(ev) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

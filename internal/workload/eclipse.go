@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+)
+
+// EclipseConfig parameterizes the DaCapo Eclipse workload (paper §5.1,
+// Fig. 13, Fig. 15): a JVM with a 128 MB heap whose garbage collector
+// cyclically walks the whole heap — the classic LRU pathology when the
+// heap exceeds the memory actually allocated to the guest.
+type EclipseConfig struct {
+	// HeapMB is the Java heap (paper: 128 MB).
+	HeapMB int
+	// JVMAnonMB is the JVM + IDE native footprint beyond the heap.
+	JVMAnonMB int
+	// WorkspaceMB is the on-disk workspace read during the run.
+	WorkspaceMB int
+	// Iterations is the number of benchmark iterations (GC cycles each).
+	Iterations int
+	// CPUPerIteration is the computation per iteration.
+	CPUPerIteration sim.Duration
+	// Sampler, when set, is called every second of virtual time with the
+	// current time (Fig. 15's cache/tracking series).
+	Sampler func(at sim.Time)
+}
+
+func (c EclipseConfig) withDefaults() EclipseConfig {
+	if c.HeapMB == 0 {
+		c.HeapMB = 128
+	}
+	if c.JVMAnonMB == 0 {
+		c.JVMAnonMB = 230
+	}
+	if c.WorkspaceMB == 0 {
+		c.WorkspaceMB = 120
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 6
+	}
+	if c.CPUPerIteration == 0 {
+		c.CPUPerIteration = 18 * sim.Second
+	}
+	return c
+}
+
+// Eclipse launches the DaCapo Eclipse workload on vm.
+func Eclipse(vm *hyper.VM, cfg EclipseConfig) *Job {
+	cfg = cfg.withDefaults()
+	pr := vm.OS.NewProcess("java")
+	return launch(vm, "eclipse", pr, func(t *guest.Thread, j *Job) {
+		heapPages := cfg.HeapMB << 20 / 4096
+		jvmPages := cfg.JVMAnonMB << 20 / 4096
+		heap := pr.Reserve(heapPages)
+		jvm := pr.Reserve(jvmPages)
+		ws := vm.OS.FS.Create("workspace", int64(cfg.WorkspaceMB)<<20)
+
+		if cfg.Sampler != nil {
+			stop := false
+			defer func() { stop = true }()
+			vm.M.Env.Go("eclipse-sampler", func(p *sim.Proc) {
+				for !stop && !pr.Killed {
+					cfg.Sampler(p.Now())
+					p.Sleep(sim.Second)
+				}
+			})
+		}
+
+		// JVM startup: initialize native memory and heap, read workspace.
+		for i := 0; i < jvmPages && !t.ProcKilled(); i++ {
+			t.TouchAnon(pr, jvm+i, true)
+		}
+		for i := 0; i < heapPages && !t.ProcKilled(); i++ {
+			t.TouchAnon(pr, heap+i, true)
+		}
+		t.ReadFile(ws, 0, ws.SizeBytes())
+
+		perPageCPU := cfg.CPUPerIteration / sim.Duration(heapPages*3)
+		for it := 0; it < cfg.Iterations && !t.ProcKilled(); it++ {
+			start := t.P.Now()
+			// Mutator phase: allocation recycles heap regions (freed and
+			// re-zeroed), object writes land in spans.
+			quarter := heapPages / 4
+			for i := 0; i < quarter && !t.ProcKilled(); i++ {
+				idx := heap + (it*quarter+i)%heapPages
+				t.FreeAnon(pr, idx)
+				t.OverwriteAnon(pr, idx, true)
+				t.WriteAnonSpan(pr, idx, 0, 1536)
+				t.Compute(perPageCPU)
+			}
+			// Workspace reads: the IDE consults files as it works.
+			off := (int64(it) * (ws.SizeBytes() / int64(cfg.Iterations))) % ws.SizeBytes()
+			n := ws.SizeBytes() / int64(cfg.Iterations)
+			if off+n > ws.SizeBytes() {
+				n = ws.SizeBytes() - off
+			}
+			t.ReadFile(ws, off, n)
+			// Full GC: mark walks every live heap page (reads), sweep
+			// writes a fraction.
+			for i := 0; i < heapPages && !t.ProcKilled(); i++ {
+				t.TouchAnon(pr, heap+i, false)
+				t.Compute(perPageCPU)
+			}
+			for i := 0; i < heapPages/8 && !t.ProcKilled(); i++ {
+				t.TouchAnon(pr, heap+i*8, true)
+				t.Compute(perPageCPU)
+			}
+			t.FlushCPU()
+			j.res.Iterations = append(j.res.Iterations, t.P.Now().Sub(start))
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/sim"
+)
+
+// The Metis suite the paper draws word-count from contains eight
+// applications; this file implements three more with genuinely different
+// memory behaviour, useful for exercising the simulator beyond Fig. 14:
+//
+//   - Grep: pure streaming scan, almost no anonymous state — the page
+//     cache pathologies dominate.
+//   - Histogram: streaming input into a small hot table — the table stays
+//     resident; only the cache churns.
+//   - KMeans: iterative full-dataset passes — an LRU pathology like the
+//     DaCapo Eclipse heap walks when the points exceed actual memory.
+
+// GrepConfig parameterizes the streaming scan.
+type GrepConfig struct {
+	InputMB     int
+	CPUPerBlock sim.Duration
+}
+
+func (c GrepConfig) withDefaults() GrepConfig {
+	if c.InputMB == 0 {
+		c.InputMB = 300
+	}
+	if c.CPUPerBlock == 0 {
+		c.CPUPerBlock = 15 * sim.Microsecond
+	}
+	return c
+}
+
+// Grep launches the streaming scan on vm.
+func Grep(vm *hyper.VM, cfg GrepConfig) *Job {
+	cfg = cfg.withDefaults()
+	pr := vm.OS.NewProcess("grep")
+	return launch(vm, "grep", pr, func(t *guest.Thread, j *Job) {
+		input := vm.OS.FS.Create("grep.in", int64(cfg.InputMB)<<20)
+		blocks := input.SizeBytes() / 4096
+		for b := int64(0); b < blocks && !t.ProcKilled(); b++ {
+			t.ReadFile(input, b*4096, 4096)
+			t.Compute(cfg.CPUPerBlock)
+		}
+	})
+}
+
+// HistogramConfig parameterizes the pixel-count application.
+type HistogramConfig struct {
+	InputMB     int
+	TableKB     int // the histogram itself: small and hot
+	CPUPerBlock sim.Duration
+}
+
+func (c HistogramConfig) withDefaults() HistogramConfig {
+	if c.InputMB == 0 {
+		c.InputMB = 400
+	}
+	if c.TableKB == 0 {
+		c.TableKB = 768 // 3 x 256 buckets x 8 B, rounded to pages
+	}
+	if c.CPUPerBlock == 0 {
+		c.CPUPerBlock = 25 * sim.Microsecond
+	}
+	return c
+}
+
+// Histogram launches the pixel-count application on vm.
+func Histogram(vm *hyper.VM, cfg HistogramConfig) *Job {
+	cfg = cfg.withDefaults()
+	pr := vm.OS.NewProcess("histogram")
+	return launch(vm, "histogram", pr, func(t *guest.Thread, j *Job) {
+		input := vm.OS.FS.Create("hist.in", int64(cfg.InputMB)<<20)
+		tablePages := (cfg.TableKB + 3) / 4
+		table := pr.Reserve(tablePages)
+		for i := 0; i < tablePages; i++ {
+			t.TouchAnon(pr, table+i, true)
+		}
+		blocks := input.SizeBytes() / 4096
+		for b := int64(0); b < blocks && !t.ProcKilled(); b++ {
+			t.ReadFile(input, b*4096, 4096)
+			// Bump a few counters: tiny scattered writes to the hot table.
+			t.WriteAnonSpan(pr, table+int(b)%tablePages, int(b*64)%4032, 64)
+			t.Compute(cfg.CPUPerBlock)
+		}
+	})
+}
+
+// KMeansConfig parameterizes the clustering application.
+type KMeansConfig struct {
+	PointsMB   int
+	Clusters   int
+	Iterations int
+	CPUPerPage sim.Duration
+	Threads    int
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.PointsMB == 0 {
+		c.PointsMB = 600
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 16
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 8
+	}
+	if c.CPUPerPage == 0 {
+		c.CPUPerPage = 12 * sim.Microsecond
+	}
+	if c.Threads == 0 {
+		c.Threads = 2
+	}
+	return c
+}
+
+// KMeans launches the clustering application on vm: the point set is
+// generated once (anonymous memory), then every iteration reads all of it.
+func KMeans(vm *hyper.VM, cfg KMeansConfig) *Job {
+	cfg = cfg.withDefaults()
+	pr := vm.OS.NewProcess("kmeans")
+	return launch(vm, "kmeans", pr, func(t *guest.Thread, j *Job) {
+		pointPages := cfg.PointsMB << 20 / 4096
+		points := pr.Reserve(pointPages)
+		centroids := pr.Reserve(cfg.Clusters)
+
+		// Generate the points (sequential fill: Preventer-friendly when
+		// host-swapped).
+		for i := 0; i < pointPages && !t.ProcKilled(); i++ {
+			t.TouchAnon(pr, points+i, true)
+		}
+		for i := 0; i < cfg.Clusters; i++ {
+			t.TouchAnon(pr, centroids+i, true)
+		}
+
+		perThread := (pointPages + cfg.Threads - 1) / cfg.Threads
+		for it := 0; it < cfg.Iterations && !t.ProcKilled(); it++ {
+			start := t.P.Now()
+			done := newBarrier(vm.M.Env, cfg.Threads)
+			for w := 0; w < cfg.Threads; w++ {
+				w := w
+				vm.OS.Go(fmt.Sprintf("kmeans-%d", w), pr, func(wt *guest.Thread) {
+					defer done.arrive()
+					lo := w * perThread
+					hi := lo + perThread
+					if hi > pointPages {
+						hi = pointPages
+					}
+					for i := lo; i < hi && !wt.ProcKilled(); i++ {
+						wt.TouchAnon(pr, points+i, false)
+						wt.Compute(cfg.CPUPerPage)
+					}
+				})
+			}
+			done.wait(t.P)
+			// Update centroids.
+			for i := 0; i < cfg.Clusters && !t.ProcKilled(); i++ {
+				t.TouchAnon(pr, centroids+i, true)
+			}
+			t.FlushCPU()
+			j.res.Iterations = append(j.res.Iterations, t.P.Now().Sub(start))
+		}
+	})
+}

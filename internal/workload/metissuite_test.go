@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+func TestGrepStreamsWithoutAnonState(t *testing.T) {
+	m, vm := smallVM(t, 256, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Grep(vm, GrepConfig{InputMB: 32})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+	if m.Met.Get(metrics.GuestSwapOuts) != 0 {
+		t.Fatal("grep should have no anonymous pressure")
+	}
+	if m.Met.Get(metrics.ImageReadSectors) < 32<<20/512 {
+		t.Fatal("did not read the whole input")
+	}
+}
+
+func TestHistogramKeepsTableHot(t *testing.T) {
+	// Even under severe host pressure, the histogram's tiny hot table
+	// means VSwapper keeps the run close to streaming speed.
+	run := func(mapper bool) sim.Duration {
+		m, vm := smallVMConfig(t, 256, 48, mapper, mapper)
+		res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+			return []*Job{Histogram(vm, HistogramConfig{InputMB: 96})}
+		})
+		return res[0].Runtime()
+	}
+	base := run(false)
+	vswap := run(true)
+	if vswap >= base {
+		t.Fatalf("vswapper (%v) not faster than baseline (%v) on histogram", vswap, base)
+	}
+}
+
+func TestKMeansIterates(t *testing.T) {
+	m, vm := smallVM(t, 512, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{KMeans(vm, KMeansConfig{PointsMB: 64, Iterations: 3})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+	if len(res[0].Iterations) != 3 {
+		t.Fatalf("iterations = %d", len(res[0].Iterations))
+	}
+	// Fully resident: iterations should be nearly identical.
+	a, b := res[0].Iterations[1], res[0].Iterations[2]
+	if a == 0 || b == 0 {
+		t.Fatal("zero-length iteration")
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("resident iterations differ: %v vs %v", a, b)
+	}
+}
+
+func TestKMeansLRUPathologyUnderPressure(t *testing.T) {
+	// Points exceed actual memory: iterations slow down hard in baseline;
+	// VSwapper cannot help much (anonymous data) but must not be slower.
+	run := func(mapper, preventer bool) sim.Duration {
+		m, vm := smallVMConfig(t, 256, 64, mapper, preventer)
+		res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+			return []*Job{KMeans(vm, KMeansConfig{PointsMB: 128, Iterations: 2})}
+		})
+		return res[0].Runtime()
+	}
+	base := run(false, false)
+	vswap := run(true, true)
+	if float64(vswap) > float64(base)*1.10 {
+		t.Fatalf("vswapper (%v) more than 10%% slower than baseline (%v)", vswap, base)
+	}
+}

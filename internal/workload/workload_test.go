@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"testing"
+
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// smallVM builds a guest with comfortable memory for functional tests.
+func smallVM(t *testing.T, memMB, limitMB int) (*hyper.Machine, *hyper.VM) {
+	return smallVMConfig(t, memMB, limitMB, false, false)
+}
+
+// smallVMConfig additionally selects the VSwapper components.
+func smallVMConfig(t *testing.T, memMB, limitMB int, mapper, preventer bool) (*hyper.Machine, *hyper.VM) {
+	t.Helper()
+	m := hyper.NewMachine(hyper.MachineConfig{Seed: 3, HostMemPages: 1 << 30 / 4096})
+	vm := m.NewVM(hyper.VMConfig{
+		Name:       "vm0",
+		MemPages:   memMB << 20 / 4096,
+		LimitPages: limitMB << 20 / 4096,
+		DiskBlocks: 4 << 30 / 4096,
+		Mapper:     mapper,
+		Preventer:  preventer,
+		GuestAPF:   true,
+	})
+	return m, vm
+}
+
+// drive boots the VM, launches jobs via fn, and waits for them.
+func drive(t *testing.T, m *hyper.Machine, vm *hyper.VM, fn func(p *sim.Proc) []*Job) []Result {
+	t.Helper()
+	var results []Result
+	m.Env.Go("driver", func(p *sim.Proc) {
+		vm.Boot(p)
+		jobs := fn(p)
+		for _, j := range jobs {
+			results = append(results, j.Wait(p))
+		}
+		m.Shutdown()
+	})
+	m.Run()
+	return results
+}
+
+func TestSeqReadIterations(t *testing.T) {
+	m, vm := smallVM(t, 256, 0)
+	var iterSeen int
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{SeqRead(vm, SeqReadConfig{
+			FileMB:         64,
+			Iterations:     3,
+			AfterIteration: func(i int) { iterSeen++ },
+		})}
+	})
+	r := res[0]
+	if r.Killed {
+		t.Fatal("killed")
+	}
+	if len(r.Iterations) != 3 || iterSeen != 3 {
+		t.Fatalf("iterations = %d / callbacks = %d", len(r.Iterations), iterSeen)
+	}
+	// Later iterations are cached and must be faster than the first.
+	if r.Iterations[1] >= r.Iterations[0] {
+		t.Fatalf("cached iteration (%v) not faster than cold (%v)", r.Iterations[1], r.Iterations[0])
+	}
+	if r.Runtime() <= 0 {
+		t.Fatal("no runtime")
+	}
+}
+
+func TestAllocTouchCompletes(t *testing.T) {
+	m, vm := smallVM(t, 256, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{AllocTouch(vm, AllocTouchConfig{SizeMB: 64})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed with plentiful memory")
+	}
+}
+
+func TestPbzip2Completes(t *testing.T) {
+	m, vm := smallVM(t, 256, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Pbzip2(vm, Pbzip2Config{InputMB: 32, Threads: 4, CPUPerBlock: 50 * sim.Microsecond})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+	if m.Met.Get(metrics.ImageReadSectors) == 0 || m.Met.Get(metrics.ImageWriteSectors) == 0 {
+		t.Fatal("pbzip2 must read input and write output")
+	}
+}
+
+func TestPbzip2ThreadsShareVCPU(t *testing.T) {
+	// With a fixed CPU budget, 1 VCPU bounds throughput regardless of
+	// thread count: runtime should be close to total CPU time.
+	m, vm := smallVM(t, 256, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Pbzip2(vm, Pbzip2Config{InputMB: 16, Threads: 8, CPUPerBlock: 200 * sim.Microsecond})}
+	})
+	blocks := 16 << 20 / 4096
+	cpuTotal := sim.Duration(blocks) * 200 * sim.Microsecond
+	if got := res[0].Runtime(); got < cpuTotal {
+		t.Fatalf("runtime %v below serial CPU bound %v", got, cpuTotal)
+	}
+}
+
+func TestKernbenchCompletes(t *testing.T) {
+	m, vm := smallVM(t, 256, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Kernbench(vm, KernbenchConfig{Files: 100, CPUPerFile: 5 * sim.Millisecond})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+	if m.Met.Get(metrics.ImageWriteSectors) == 0 {
+		t.Fatal("no object files written")
+	}
+}
+
+func TestEclipseCompletesAndSamples(t *testing.T) {
+	m, vm := smallVM(t, 768, 0)
+	samples := 0
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Eclipse(vm, EclipseConfig{
+			HeapMB:          32,
+			JVMAnonMB:       32,
+			WorkspaceMB:     16,
+			Iterations:      2,
+			CPUPerIteration: 2 * sim.Second,
+			Sampler:         func(at sim.Time) { samples++ },
+		})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+	if len(res[0].Iterations) != 2 {
+		t.Fatalf("iterations = %d", len(res[0].Iterations))
+	}
+	if samples == 0 {
+		t.Fatal("sampler never ran")
+	}
+}
+
+func TestMetisCompletes(t *testing.T) {
+	m, vm := smallVM(t, 768, 0)
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Metis(vm, MetisConfig{InputMB: 16, TableMB: 64, CPUPerBlock: 20 * sim.Microsecond})}
+	})
+	if res[0].Killed {
+		t.Fatal("killed")
+	}
+}
+
+func TestWarmupLeavesMemoryStale(t *testing.T) {
+	m, vm := smallVM(t, 128, 32)
+	drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{Warmup(vm, 2048)}
+	})
+	if m.Met.Get(metrics.HostSwapOuts) == 0 {
+		t.Fatal("warmup under pressure must cause host swapping")
+	}
+	if vm.OS.FreePages() < 100<<20/4096 {
+		t.Fatalf("warmup did not free its memory: %d free", vm.OS.FreePages())
+	}
+}
+
+func TestWorkloadKilledUnderOOM(t *testing.T) {
+	// A tiny guest with tiny guest swap: AllocTouch far beyond capacity
+	// must be OOM-killed, and the job must report it.
+	m := hyper.NewMachine(hyper.MachineConfig{Seed: 3, HostMemPages: 1 << 30 / 4096})
+	vm := m.NewVM(hyper.VMConfig{
+		Name:            "vm0",
+		MemPages:        64 << 20 / 4096,
+		DiskBlocks:      2 << 30 / 4096,
+		GuestSwapBlocks: 1024, // 4 MB of guest swap only
+		GuestAPF:        true,
+	})
+	res := drive(t, m, vm, func(p *sim.Proc) []*Job {
+		return []*Job{AllocTouch(vm, AllocTouchConfig{SizeMB: 256})}
+	})
+	if !res[0].Killed {
+		t.Fatal("expected OOM kill")
+	}
+}
+
+func TestJobWaitAfterFinish(t *testing.T) {
+	m, vm := smallVM(t, 128, 0)
+	m.Env.Go("driver", func(p *sim.Proc) {
+		vm.Boot(p)
+		j := SeqRead(vm, SeqReadConfig{FileMB: 8})
+		first := j.Wait(p)
+		second := j.Wait(p) // must not block again
+		if first.Runtime() != second.Runtime() {
+			t.Error("repeated Wait returned different results")
+		}
+		if !j.Finished() {
+			t.Error("not finished")
+		}
+		m.Shutdown()
+	})
+	m.Run()
+}

@@ -1,0 +1,163 @@
+// Package vswapsim is a full-system reproduction of "VSwapper: A Memory
+// Swapper for Virtualized Environments" (Amit, Tsafrir, Schuster — ASPLOS
+// 2014) as a deterministic discrete-event simulation.
+//
+// The library models the complete stack the paper runs on: a rotating
+// disk, a Linux-like host memory manager with uncooperative swapping, a
+// Linux-like guest OS with its own page cache/reclaim/balloon driver, a
+// QEMU/KVM-like virtio and EPT fault path — and VSwapper itself (the Swap
+// Mapper and the False Reads Preventer) plugged into that hypervisor.
+//
+// # Quick start
+//
+//	m := vswapsim.NewMachine(vswapsim.MachineConfig{
+//		Seed:         1,
+//		HostMemPages: 4 << 30 / 4096,
+//	})
+//	vm := m.NewVM(vswapsim.VMConfig{
+//		Name:       "guest0",
+//		MemPages:   512 << 20 / 4096, // what the guest believes
+//		LimitPages: 100 << 20 / 4096, // what it actually gets
+//		Mapper:     true,             // enable VSwapper
+//		Preventer:  true,
+//		GuestAPF:   true,
+//	})
+//	m.Env.Go("driver", func(p *vswapsim.Proc) {
+//		vm.Boot(p)
+//		res := vswapsim.SeqRead(vm, vswapsim.SeqReadConfig{FileMB: 200}).Wait(p)
+//		fmt.Println("runtime:", res.Runtime())
+//		m.Shutdown()
+//	})
+//	m.Run()
+//
+// # Experiments
+//
+// Every table and figure of the paper's evaluation can be regenerated:
+//
+//	rep, _ := vswapsim.RunExperiment("fig3", vswapsim.ExperimentOptions{})
+//	fmt.Print(rep)
+//
+// See DESIGN.md for the modelling choices and EXPERIMENTS.md for
+// paper-vs-measured results.
+package vswapsim
+
+import (
+	"vswapsim/internal/balloon"
+	"vswapsim/internal/experiment"
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Machine is one physical host (disk, frames, host MM, guests).
+	Machine = hyper.Machine
+	// MachineConfig sizes the host.
+	MachineConfig = hyper.MachineConfig
+	// VM is one guest with its QEMU process model.
+	VM = hyper.VM
+	// VMConfig describes a guest and its VSwapper components.
+	VMConfig = hyper.VMConfig
+	// Proc is a simulated process handle.
+	Proc = sim.Proc
+	// Env is the discrete-event environment.
+	Env = sim.Env
+	// Time and Duration are virtual-clock types.
+	Time     = sim.Time
+	Duration = sim.Duration
+	// Metrics is the counter set every layer reports into.
+	Metrics = metrics.Set
+	// GuestOS exposes the guest kernel (page cache, balloon, processes).
+	GuestOS = guest.OS
+	// GuestThread runs workload code inside a guest.
+	GuestThread = guest.Thread
+	// GuestConfig tunes the guest kernel.
+	GuestConfig = guest.Config
+)
+
+// Workload types.
+type (
+	// Job is a handle on a running workload.
+	Job = workload.Job
+	// Result summarizes a finished workload.
+	Result = workload.Result
+
+	SeqReadConfig    = workload.SeqReadConfig
+	AllocTouchConfig = workload.AllocTouchConfig
+	Pbzip2Config     = workload.Pbzip2Config
+	KernbenchConfig  = workload.KernbenchConfig
+	EclipseConfig    = workload.EclipseConfig
+	MetisConfig      = workload.MetisConfig
+	GrepConfig       = workload.GrepConfig
+	HistogramConfig  = workload.HistogramConfig
+	KMeansConfig     = workload.KMeansConfig
+)
+
+// Migration types (the paper's §7 future work, implemented).
+type (
+	MigrationConfig = hyper.MigrationConfig
+	MigrationPlan   = hyper.MigrationPlan
+	MigrationResult = hyper.MigrationResult
+)
+
+// Balloon-manager types.
+type (
+	// BalloonManager is the MOM-like controller.
+	BalloonManager = balloon.Manager
+	// BalloonConfig tunes it.
+	BalloonConfig = balloon.Config
+)
+
+// Experiment types.
+type (
+	// ExperimentOptions controls seed, scale and sweep trimming.
+	ExperimentOptions = experiment.Options
+	// ExperimentReport is a rendered result.
+	ExperimentReport = experiment.Report
+)
+
+// NewMachine builds a physical host.
+func NewMachine(cfg MachineConfig) *Machine { return hyper.NewMachine(cfg) }
+
+// NewBalloonManager attaches a MOM-like balloon controller to a machine.
+func NewBalloonManager(m *Machine, cfg BalloonConfig) *BalloonManager {
+	return balloon.New(m, cfg)
+}
+
+// Workload launchers.
+var (
+	SeqRead    = workload.SeqRead
+	AllocTouch = workload.AllocTouch
+	Pbzip2     = workload.Pbzip2
+	Kernbench  = workload.Kernbench
+	Eclipse    = workload.Eclipse
+	Metis      = workload.Metis
+	Grep       = workload.Grep
+	Histogram  = workload.Histogram
+	KMeans     = workload.KMeans
+	Warmup     = workload.Warmup
+)
+
+// Duration units re-exported for configuration.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (fig3…fig15, tab1, tab2, overhead, windows, ablation).
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	e, err := experiment.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts), nil
+}
+
+// ExperimentIDs lists the available experiment ids in paper order.
+func ExperimentIDs() []string { return experiment.IDs() }

@@ -1,0 +1,85 @@
+package vswapsim
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// README shows.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 1, HostMemPages: 1 << 30 / 4096})
+	vm := m.NewVM(VMConfig{
+		Name:       "guest0",
+		MemPages:   128 << 20 / 4096,
+		LimitPages: 32 << 20 / 4096,
+		DiskBlocks: 2 << 30 / 4096,
+		Mapper:     true,
+		Preventer:  true,
+		GuestAPF:   true,
+	})
+	var res Result
+	m.Env.Go("driver", func(p *Proc) {
+		vm.Boot(p)
+		Warmup(vm, 2048).Wait(p)
+		res = SeqRead(vm, SeqReadConfig{FileMB: 64}).Wait(p)
+		m.Shutdown()
+	})
+	m.Run()
+	if res.Killed || res.Runtime() <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	rep, err := RunExperiment("tab1", ExperimentOptions{})
+	if err != nil || len(rep.Tables) == 0 {
+		t.Fatalf("tab1: %v", err)
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestPublicAPIBalloonManager(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 2, HostMemPages: 256 << 20 / 4096})
+	vm := m.NewVM(VMConfig{
+		Name:       "g",
+		MemPages:   128 << 20 / 4096,
+		DiskBlocks: 1 << 30 / 4096,
+		GuestAPF:   true,
+	})
+	mgr := NewBalloonManager(m, BalloonConfig{})
+	m.Env.Go("driver", func(p *Proc) {
+		vm.Boot(p)
+		mgr.Start()
+		p.Sleep(5 * Second)
+		mgr.Stop()
+		m.Shutdown()
+	})
+	m.Run()
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() Duration {
+		m := NewMachine(MachineConfig{Seed: 9, HostMemPages: 1 << 30 / 4096})
+		vm := m.NewVM(VMConfig{
+			Name: "g", MemPages: 128 << 20 / 4096, LimitPages: 32 << 20 / 4096,
+			DiskBlocks: 2 << 30 / 4096, GuestAPF: true,
+		})
+		var d Duration
+		m.Env.Go("driver", func(p *Proc) {
+			vm.Boot(p)
+			d = Pbzip2(vm, Pbzip2Config{InputMB: 32, Threads: 4}).Wait(p).Runtime()
+			m.Shutdown()
+		})
+		m.Run()
+		return d
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
