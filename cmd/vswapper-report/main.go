@@ -2,6 +2,10 @@
 // paper's evaluation in one run, printing each report and, with -o, also
 // writing the combined output to a file (the source of EXPERIMENTS.md's
 // measured numbers).
+//
+// Experiments fan out on a bounded worker pool (-parallel, default
+// GOMAXPROCS); the report content is bit-identical to a serial run and is
+// always printed in registry order.
 package main
 
 import (
@@ -10,35 +14,89 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"vswapsim/internal/experiment"
 )
 
+// cliConfig holds the parsed command line.
+type cliConfig struct {
+	scale    float64
+	seed     uint64
+	quick    bool
+	out      string
+	only     string
+	csvDir   string
+	parallel int
+}
+
+// parseArgs parses args (without the program name). Parse errors are
+// reported on stderr by the FlagSet itself.
+func parseArgs(args []string) (cliConfig, error) {
+	fs := flag.NewFlagSet("vswapper-report", flag.ContinueOnError)
+	var c cliConfig
+	fs.Float64Var(&c.scale, "scale", 1.0, "size scale factor (1.0 = paper-sized)")
+	fs.Uint64Var(&c.seed, "seed", 42, "random seed")
+	fs.BoolVar(&c.quick, "quick", false, "trim sweeps for a fast smoke run")
+	fs.StringVar(&c.out, "o", "", "also write the combined report to this file")
+	fs.StringVar(&c.only, "only", "", "comma-separated experiment id filter (e.g. fig5,fig11)")
+	fs.StringVar(&c.csvDir, "csv", "", "also write each table as CSV into this directory")
+	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0),
+		"max concurrent simulator runs (1 = serial; results are identical either way)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.scale <= 0 || c.scale > 16 {
+		return c, fmt.Errorf("invalid -scale %v: must be in (0, 16]", c.scale)
+	}
+	if c.parallel < 1 {
+		return c, fmt.Errorf("invalid -parallel %d: must be >= 1", c.parallel)
+	}
+	return c, nil
+}
+
+// selectExperiments applies the -only filter (a comma-separated id list)
+// to the registry, preserving the caller's order.
+func selectExperiments(only string) ([]experiment.Experiment, error) {
+	if only == "" {
+		return experiment.Registry, nil
+	}
+	var out []experiment.Experiment
+	for _, id := range strings.Split(only, ",") {
+		e, err := experiment.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 func main() {
-	var (
-		scale  = flag.Float64("scale", 1.0, "size scale factor (1.0 = paper-sized)")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
-		out    = flag.String("o", "", "also write the combined report to this file")
-		only   = flag.String("only", "", "comma-free single experiment id filter")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
-	)
-	flag.Parse()
-	if *scale <= 0 || *scale > 16 {
-		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0, 16]\n", *scale)
+	c, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(2)
 	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	exps, err := selectExperiments(c.only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if c.csvDir != "" {
+		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if c.out != "" {
+		f, err := os.Create(c.out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -47,23 +105,22 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Quick: *quick}
-	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v)\n\n", *seed, *scale, *quick)
-	for _, e := range experiment.Registry {
-		if *only != "" && e.ID != *only {
-			continue
-		}
-		start := time.Now()
-		rep := e.Run(opts)
-		fmt.Fprint(w, rep.String())
-		fmt.Fprintf(w, "(%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			for i, tab := range rep.Tables {
-				name := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", e.ID, i))
+	opts := experiment.Options{Seed: c.seed, Scale: c.scale, Quick: c.quick, Parallel: c.parallel}
+	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v parallel=%d)\n\n",
+		c.seed, c.scale, c.quick, c.parallel)
+	start := time.Now()
+	experiment.RunAll(exps, opts, func(r experiment.RunResult) {
+		fmt.Fprint(w, r.Report.String())
+		fmt.Fprintf(w, "(%s generated in %v)\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+		if c.csvDir != "" {
+			for i, tab := range r.Report.Tables {
+				name := filepath.Join(c.csvDir, fmt.Sprintf("%s_%d.csv", r.Experiment.ID, i))
 				if err := os.WriteFile(name, []byte(tab.CSV()), 0o644); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 				}
 			}
 		}
-	}
+	})
+	fmt.Fprintf(w, "total wall time %v (-parallel %d)\n",
+		time.Since(start).Round(time.Millisecond), c.parallel)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+
+	"vswapsim/internal/experiment"
+)
+
+func TestParseArgsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		check   func(t *testing.T, c cliConfig)
+	}{
+		{"defaults", nil, false, func(t *testing.T, c cliConfig) {
+			if c.parallel != runtime.GOMAXPROCS(0) {
+				t.Fatalf("default -parallel = %d, want GOMAXPROCS (%d)", c.parallel, runtime.GOMAXPROCS(0))
+			}
+			if c.scale != 1.0 || c.seed != 42 || c.quick || c.only != "" {
+				t.Fatalf("unexpected defaults: %+v", c)
+			}
+		}},
+		{"parallel explicit", []string{"-parallel", "8", "-quick"}, false, func(t *testing.T, c cliConfig) {
+			if c.parallel != 8 || !c.quick {
+				t.Fatalf("parsed %+v", c)
+			}
+		}},
+		{"parallel zero rejected", []string{"-parallel", "0"}, true, nil},
+		{"parallel negative rejected", []string{"-parallel", "-1"}, true, nil},
+		{"parallel non-numeric rejected", []string{"-parallel", "many"}, true, nil},
+		{"scale invalid rejected", []string{"-scale", "-0.5"}, true, nil},
+		{"output flags", []string{"-o", "out.txt", "-csv", "csvdir", "-only", "fig5"}, false,
+			func(t *testing.T, c cliConfig) {
+				if c.out != "out.txt" || c.csvDir != "csvdir" || c.only != "fig5" {
+					t.Fatalf("parsed %+v", c)
+				}
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parseArgs(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parseArgs(%v) succeeded with %+v, want error", c.args, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", c.args, err)
+			}
+			if c.check != nil {
+				c.check(t, got)
+			}
+		})
+	}
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil || len(all) != len(experiment.Registry) {
+		t.Fatalf("empty filter: %d experiments, err %v", len(all), err)
+	}
+	one, err := selectExperiments("fig9")
+	if err != nil || len(one) != 1 || one[0].ID != "fig9" {
+		t.Fatalf("fig9 filter: %+v, err %v", one, err)
+	}
+	multi, err := selectExperiments("fig11, fig5")
+	if err != nil || len(multi) != 2 || multi[0].ID != "fig11" || multi[1].ID != "fig5" {
+		t.Fatalf("multi filter: %+v, err %v", multi, err)
+	}
+	if _, err := selectExperiments("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := selectExperiments("fig5,nope"); err == nil {
+		t.Fatal("unknown id in list accepted")
+	}
+}

@@ -4,50 +4,80 @@
 // Usage:
 //
 //	vswapsim -list
-//	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick]
+//	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"vswapsim/internal/experiment"
 )
 
+// cliConfig holds the parsed command line.
+type cliConfig struct {
+	list     bool
+	run      string
+	scale    float64
+	seed     uint64
+	quick    bool
+	parallel int
+}
+
+// parseArgs parses args (without the program name). Parse errors are
+// reported on stderr by the FlagSet itself.
+func parseArgs(args []string) (cliConfig, error) {
+	fs := flag.NewFlagSet("vswapsim", flag.ContinueOnError)
+	var c cliConfig
+	fs.BoolVar(&c.list, "list", false, "list available experiments")
+	fs.StringVar(&c.run, "run", "", "experiment id to run (e.g. fig3)")
+	fs.Float64Var(&c.scale, "scale", 1.0, "size scale factor (1.0 = paper-sized)")
+	fs.Uint64Var(&c.seed, "seed", 42, "random seed")
+	fs.BoolVar(&c.quick, "quick", false, "trim sweeps for a fast smoke run")
+	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0),
+		"max concurrent simulator runs (1 = serial; results are identical either way)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.scale <= 0 || c.scale > 16 {
+		return c, fmt.Errorf("invalid -scale %v: must be in (0, 16]", c.scale)
+	}
+	if c.parallel < 1 {
+		return c, fmt.Errorf("invalid -parallel %d: must be >= 1", c.parallel)
+	}
+	return c, nil
+}
+
 func main() {
-	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		run   = flag.String("run", "", "experiment id to run (e.g. fig3)")
-		scale = flag.Float64("scale", 1.0, "size scale factor (1.0 = paper-sized)")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
-	)
-	flag.Parse()
-	if *scale <= 0 || *scale > 16 {
-		fmt.Fprintf(os.Stderr, "invalid -scale %v: must be in (0, 16]\n", *scale)
+	c, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(2)
 	}
 
-	if *list || *run == "" {
+	if c.list || c.run == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiment.Registry {
 			fmt.Printf("  %-9s %-45s (%s)\n", e.ID, e.Title, e.PaperNote)
 		}
-		if *run == "" && !*list {
+		if c.run == "" && !c.list {
 			os.Exit(2)
 		}
 		return
 	}
 
-	e, err := experiment.ByID(*run)
+	e, err := experiment.ByID(c.run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	start := time.Now()
-	rep := e.Run(experiment.Options{Seed: *seed, Scale: *scale, Quick: *quick})
+	rep := e.Run(experiment.Options{Seed: c.seed, Scale: c.scale, Quick: c.quick, Parallel: c.parallel})
 	fmt.Print(rep.String())
-	fmt.Printf("(generated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(generated in %v wall time, -parallel %d)\n", time.Since(start).Round(time.Millisecond), c.parallel)
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParseArgsTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+		check   func(t *testing.T, c cliConfig)
+	}{
+		{"defaults", nil, false, func(t *testing.T, c cliConfig) {
+			if c.parallel != runtime.GOMAXPROCS(0) {
+				t.Fatalf("default -parallel = %d, want GOMAXPROCS (%d)", c.parallel, runtime.GOMAXPROCS(0))
+			}
+			if c.scale != 1.0 || c.seed != 42 || c.quick || c.list || c.run != "" {
+				t.Fatalf("unexpected defaults: %+v", c)
+			}
+		}},
+		{"parallel explicit", []string{"-run", "fig3", "-parallel", "4"}, false, func(t *testing.T, c cliConfig) {
+			if c.parallel != 4 || c.run != "fig3" {
+				t.Fatalf("parsed %+v", c)
+			}
+		}},
+		{"serial", []string{"-parallel", "1"}, false, func(t *testing.T, c cliConfig) {
+			if c.parallel != 1 {
+				t.Fatalf("parsed %+v", c)
+			}
+		}},
+		{"parallel zero rejected", []string{"-parallel", "0"}, true, nil},
+		{"parallel negative rejected", []string{"-parallel", "-2"}, true, nil},
+		{"parallel non-numeric rejected", []string{"-parallel", "lots"}, true, nil},
+		{"scale zero rejected", []string{"-scale", "0"}, true, nil},
+		{"scale too large rejected", []string{"-scale", "17"}, true, nil},
+		{"unknown flag rejected", []string{"-frobnicate"}, true, nil},
+		{"all flags", []string{"-run", "fig11", "-seed", "7", "-scale", "0.5", "-quick", "-parallel", "2"}, false,
+			func(t *testing.T, c cliConfig) {
+				want := cliConfig{run: "fig11", seed: 7, scale: 0.5, quick: true, parallel: 2}
+				if c != want {
+					t.Fatalf("parsed %+v, want %+v", c, want)
+				}
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := parseArgs(c.args)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("parseArgs(%v) succeeded with %+v, want error", c.args, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseArgs(%v): %v", c.args, err)
+			}
+			if c.check != nil {
+				c.check(t, got)
+			}
+		})
+	}
+}

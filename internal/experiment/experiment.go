@@ -6,7 +6,10 @@
 package experiment
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"vswapsim/internal/guest"
@@ -62,6 +65,15 @@ type Options struct {
 	Scale float64
 	// Quick trims sweep points / guest counts for smoke runs.
 	Quick bool
+	// Parallel bounds how many simulator runs execute concurrently
+	// (0 = GOMAXPROCS, 1 = strictly serial). Results are bit-identical
+	// regardless of the value: every fan-out job seeds its own sim.Env
+	// deterministically and owns its result slot (see executor.go).
+	Parallel int
+
+	// lim is the run-slot pool shared by everything derived from this
+	// Options value; normalized creates it once per top-level invocation.
+	lim *limiter
 }
 
 func (o Options) normalized() Options {
@@ -70,6 +82,12 @@ func (o Options) normalized() Options {
 	}
 	if o.Scale == 0 {
 		o.Scale = 1.0
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.lim == nil {
+		o.lim = newLimiter(o.Parallel)
 	}
 	return o
 }
@@ -191,6 +209,28 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Fingerprint returns a stable SHA-256 over the report's identity and
+// every table rendered as CSV (where all the metric counters the report
+// surfaces end up), plus its notes. The determinism golden tests compare
+// fingerprints across runs and against testdata/.
+func (r *Report) Fingerprint() string {
+	h := sha256.New()
+	field := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	field(r.ID)
+	field(r.Title)
+	for _, t := range r.Tables {
+		field(t.Title)
+		field(t.CSV())
+	}
+	for _, n := range r.Notes {
+		field(n)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Experiment couples an id with its runner.
 type Experiment struct {
 	ID        string
@@ -207,8 +247,12 @@ func mins(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()/60) }
 
 // runCfg describes one single-guest controlled-memory run (paper §5.1).
 type runCfg struct {
-	opts     Options
-	scheme   Scheme
+	opts   Options
+	scheme Scheme
+	// seed, when nonzero, overrides opts.Seed for this run's machine.
+	// Fan-out jobs set it to sim.DeriveSeed(opts.Seed, id, scheme, size)
+	// so each cell is an independent, scheduling-order-free stream.
+	seed     uint64
 	guestMB  int // believed memory (pre-scale)
 	actualMB int // cgroup allocation (pre-scale)
 	hostMB   int // physical host memory (0 = 8x actual, min 2 GiB equiv)
@@ -234,6 +278,11 @@ type runOut struct {
 // balloon, optional warm-up, then the measured body.
 func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) runOut {
 	o := rc.opts.normalized()
+	release := o.acquire()
+	defer release()
+	if rc.seed == 0 {
+		rc.seed = o.Seed
+	}
 	if rc.vcpus == 0 {
 		rc.vcpus = 1
 	}
@@ -245,7 +294,7 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 		hostMB = 4 * rc.guestMB
 	}
 	mc := hyper.MachineConfig{
-		Seed:         o.Seed,
+		Seed:         rc.seed,
 		HostMemPages: o.pages(hostMB),
 	}
 	if rc.hostTweak != nil {

@@ -22,7 +22,7 @@ func Fig13(o Options) *Report {
 	if o.Quick {
 		iters = 3
 	}
-	data := runSweep(o, schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+	data := runSweep(o, "fig13", schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
 		return workload.Eclipse(vm, workload.EclipseConfig{
 			HeapMB:      o.mb(128),
 			JVMAnonMB:   o.mb(230),

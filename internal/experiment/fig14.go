@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"vswapsim/internal/balloon"
 	"vswapsim/internal/hyper"
@@ -12,11 +13,17 @@ import (
 // runDynamic executes the §5.2 dynamic scenario: n guests (2 GB, 2 VCPUs)
 // on an 8 GB host run Metis word-count, started 10 seconds apart. Balloon
 // schemes are managed by the MOM-like controller. It returns the mean
-// guest runtime and how many guests were OOM-killed.
-func runDynamic(o Options, scheme Scheme, n int) (sim.Duration, int) {
+// guest runtime and how many guests were OOM-killed. seed, when nonzero,
+// overrides o.Seed so fan-out cells get independent derived streams.
+func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int) {
 	o = o.normalized()
+	release := o.acquire()
+	defer release()
+	if seed == 0 {
+		seed = o.Seed
+	}
 	m := hyper.NewMachine(hyper.MachineConfig{
-		Seed:         o.Seed,
+		Seed:         seed,
 		HostMemPages: o.pages(8 * 1024),
 	})
 	vms := make([]*hyper.VM, n)
@@ -90,20 +97,35 @@ func Fig14(o Options) *Report {
 	for _, s := range dynamicSchemes {
 		tab.Columns = append(tab.Columns, s.String())
 	}
-	for _, n := range counts {
+	cells := dynamicCells(o, "fig14", counts, dynamicSchemes)
+	for i, n := range counts {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, s := range dynamicSchemes {
-			mean, killed := runDynamic(o, s, n)
-			cell := secs(mean)
-			if killed > 0 {
-				cell += fmt.Sprintf(" (%d killed)", killed)
-			}
-			row = append(row, cell)
+		for j := range dynamicSchemes {
+			row = append(row, cells[i*len(dynamicSchemes)+j])
 		}
 		tab.Add(row...)
 	}
 	rep.Tables = append(rep.Tables, tab)
 	return rep
+}
+
+// dynamicCells runs the counts × schemes grid of runDynamic calls on the
+// worker pool, returning rendered cells in row-major (counts-outer) order.
+// Each cell's seed derives from (id, scheme, guest count).
+func dynamicCells(o Options, id string, counts []int, schemes []Scheme) []string {
+	o = o.normalized()
+	out := make([]string, len(counts)*len(schemes))
+	o.forEach(len(out), func(i int) {
+		n, s := counts[i/len(schemes)], schemes[i%len(schemes)]
+		seed := sim.DeriveSeed(o.Seed, id, s.String(), strconv.Itoa(n))
+		mean, killed := runDynamic(o, s, n, seed)
+		cell := secs(mean)
+		if killed > 0 {
+			cell += fmt.Sprintf(" (%d killed)", killed)
+		}
+		out[i] = cell
+	})
+	return out
 }
 
 // Fig4 is the paper's motivational preview of Fig. 14 at ten guests.
@@ -122,13 +144,10 @@ func Fig4(o Options) *Report {
 		Baseline: "153", BalloonBase: "167", VSwapper: "88", BalloonVSwapper: "97",
 	}
 	tab := &Table{Title: "avg runtime [sec]", Columns: []string{"config", "runtime", "paper"}}
-	for _, s := range []Scheme{Baseline, BalloonBase, VSwapper, BalloonVSwapper} {
-		mean, killed := runDynamic(o, s, n)
-		cell := secs(mean)
-		if killed > 0 {
-			cell += fmt.Sprintf(" (%d killed)", killed)
-		}
-		tab.Add(s.String(), cell, paper[s])
+	schemes := []Scheme{Baseline, BalloonBase, VSwapper, BalloonVSwapper}
+	cells := dynamicCells(o, "fig4", []int{n}, schemes)
+	for i, s := range schemes {
+		tab.Add(s.String(), cells[i], paper[s])
 	}
 	rep.Tables = append(rep.Tables, tab)
 	return rep

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden fingerprints")
+
+const goldenFile = "testdata/golden_quick.json"
+
+// goldenOpts pins the determinism harness configuration: Quick mode at a
+// small scale, strictly serial, so the goldens are the canonical serial
+// reference the equivalence tests compare parallel execution against.
+func goldenOpts() Options {
+	return Options{Seed: 42, Scale: 0.125, Quick: true, Parallel: 1}
+}
+
+// goldenExperiments is the registry minus tab1, which fingerprints the
+// source tree (lines of code) rather than simulator output and would churn
+// on every unrelated commit.
+func goldenExperiments() []Experiment {
+	var out []Experiment
+	for _, e := range Registry {
+		if e.ID == "tab1" {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestGoldenFingerprints runs every registry experiment serially in Quick
+// mode and compares each report's fingerprint (SHA-256 over its tables'
+// CSV and notes) against testdata/golden_quick.json. Regenerate with:
+//
+//	go test ./internal/experiment -run TestGoldenFingerprints -update
+func TestGoldenFingerprints(t *testing.T) {
+	resetSweepCaches()
+	got := map[string]string{}
+	for _, e := range goldenExperiments() {
+		got[e.ID] = e.Run(goldenOpts()).Fingerprint()
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), goldenFile)
+		return
+	}
+
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	for _, e := range goldenExperiments() {
+		w, ok := want[e.ID]
+		if !ok {
+			t.Errorf("%s: no golden fingerprint recorded (run with -update)", e.ID)
+			continue
+		}
+		if got[e.ID] != w {
+			t.Errorf("%s: fingerprint %s, golden %s — simulator output drifted; "+
+				"if intentional, regenerate with -update", e.ID, got[e.ID][:12], w[:12])
+		}
+	}
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			t.Errorf("golden file has stale entry %q (run with -update)", id)
+		}
+	}
+}
+
+// TestFingerprintSensitivity guards the fingerprint itself: it must be
+// stable across calls and change when any cell, title or note changes.
+func TestFingerprintSensitivity(t *testing.T) {
+	mk := func() *Report {
+		tab := &Table{Title: "t", Columns: []string{"a", "b"}}
+		tab.Add("1", "2")
+		return &Report{ID: "x", Title: "T", Tables: []*Table{tab}, Notes: []string{"n"}}
+	}
+	base := mk().Fingerprint()
+	if base != mk().Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	cell := mk()
+	cell.Tables[0].Rows[0][1] = "3"
+	note := mk()
+	note.Notes[0] = "m"
+	title := mk()
+	title.Tables[0].Title = "u"
+	for name, r := range map[string]*Report{"cell": cell, "note": note, "table title": title} {
+		if r.Fingerprint() == base {
+			t.Fatalf("changing a %s did not change the fingerprint", name)
+		}
+	}
+}

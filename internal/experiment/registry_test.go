@@ -1,0 +1,62 @@
+package experiment
+
+import "testing"
+
+func TestByIDTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		id      string
+		wantErr bool
+	}{
+		{"first entry", "fig3", false},
+		{"sweep entry", "fig11", false},
+		{"last entry", "migration", false},
+		{"table entry", "tab2", false},
+		{"empty id", "", true},
+		{"unknown id", "fig99", true},
+		{"case sensitive", "FIG3", true},
+		{"whitespace", " fig3", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := ByID(c.id)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("ByID(%q) = %q, want error", c.id, e.ID)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ByID(%q): %v", c.id, err)
+			}
+			if e.ID != c.id || e.Run == nil || e.Title == "" {
+				t.Fatalf("ByID(%q) returned incomplete entry: %+v", c.id, e)
+			}
+		})
+	}
+}
+
+func TestIDsMatchRegistryOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() has %d entries, registry %d", len(ids), len(Registry))
+	}
+	for i, e := range Registry {
+		if ids[i] != e.ID {
+			t.Fatalf("IDs()[%d] = %q, registry order has %q", i, ids[i], e.ID)
+		}
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if e.ID == "" {
+			t.Fatalf("registry entry %q has empty id", e.Title)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate registry id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/metrics"
@@ -24,20 +26,40 @@ type sweepResult struct {
 	met map[string]int64
 }
 
-// runSweep executes body across schemes × sizes.
-func runSweep(o Options, schemes []Scheme, sizes []int,
+// runSweep executes body across schemes × sizes, fanning the cells out on
+// the worker pool. id names the sweep in each cell's derived seed, so a
+// cell's result is a pure function of (Seed, id, scheme, size) — identical
+// whether the grid runs serially or in parallel, in any order.
+func runSweep(o Options, id string, schemes []Scheme, sizes []int,
 	body func(vm *hyper.VM, p *sim.Proc) *workload.Job) map[Scheme]map[int]sweepResult {
-	out := make(map[Scheme]map[int]sweepResult)
+	o = o.normalized()
+	type cell struct {
+		scheme Scheme
+		size   int
+	}
+	cells := make([]cell, 0, len(schemes)*len(sizes))
 	for _, s := range schemes {
-		out[s] = make(map[int]sweepResult)
 		for _, size := range sizes {
-			r := runSingle(runCfg{
-				opts: o, scheme: s,
-				guestMB: 512, actualMB: size,
-				warmup: true,
-			}, body)
-			out[s][size] = sweepResult{res: r.res, met: r.met}
+			cells = append(cells, cell{s, size})
 		}
+	}
+	results := make([]sweepResult, len(cells))
+	o.forEach(len(cells), func(i int) {
+		c := cells[i]
+		r := runSingle(runCfg{
+			opts: o, scheme: c.scheme,
+			seed:    sim.DeriveSeed(o.Seed, id, c.scheme.String(), strconv.Itoa(c.size)),
+			guestMB: 512, actualMB: c.size,
+			warmup: true,
+		}, body)
+		results[i] = sweepResult{res: r.res, met: r.met}
+	})
+	out := make(map[Scheme]map[int]sweepResult)
+	for i, c := range cells {
+		if out[c.scheme] == nil {
+			out[c.scheme] = make(map[int]sweepResult)
+		}
+		out[c.scheme][c.size] = results[i]
 	}
 	return out
 }
@@ -60,8 +82,26 @@ func sweepTable(title string, schemes []Scheme, sizes []int,
 }
 
 // pbzipSweep runs the pbzip2 sweep shared by Figs. 5 and 11; results are
-// memoized so generating both figures costs one sweep.
-var pbzipCache = map[string]map[Scheme]map[int]sweepResult{}
+// memoized single-flight, so the two figures cost one sweep even when the
+// parallel executor generates them concurrently.
+type pbzipEntry struct {
+	once sync.Once
+	data map[Scheme]map[int]sweepResult
+}
+
+var (
+	pbzipMu    sync.Mutex
+	pbzipCache = map[string]*pbzipEntry{}
+)
+
+// resetSweepCaches clears the cross-experiment memoization; tests use it
+// to force the serial and parallel runs of an equivalence check to both
+// actually execute.
+func resetSweepCaches() {
+	pbzipMu.Lock()
+	defer pbzipMu.Unlock()
+	pbzipCache = map[string]*pbzipEntry{}
+}
 
 func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 	o = o.normalized()
@@ -70,17 +110,22 @@ func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 	// pbzip2 under the static balloon ("below 240MB" on their axis).
 	sizes := append(sweepSizes(o), 128)
 	key := fmt.Sprintf("%d/%f/%v", o.Seed, o.Scale, o.Quick)
-	if got, ok := pbzipCache[key]; ok {
-		return got, schemes, sizes
+	pbzipMu.Lock()
+	e := pbzipCache[key]
+	if e == nil {
+		e = &pbzipEntry{}
+		pbzipCache[key] = e
 	}
-	data := runSweep(o, schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
-		return workload.Pbzip2(vm, workload.Pbzip2Config{
-			InputMB:      o.mb(448),
-			WorkingPages: int(5120 * o.Scale), // keep footprint proportional
+	pbzipMu.Unlock()
+	e.once.Do(func() {
+		e.data = runSweep(o, "pbzip", schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+			return workload.Pbzip2(vm, workload.Pbzip2Config{
+				InputMB:      o.mb(448),
+				WorkingPages: int(5120 * o.Scale), // keep footprint proportional
+			})
 		})
 	})
-	pbzipCache[key] = data
-	return data, schemes, sizes
+	return e.data, schemes, sizes
 }
 
 // Fig5 reproduces the pbzip2 runtime sweep with over-ballooning kills.
@@ -127,7 +172,7 @@ func Fig12(o Options) *Report {
 	if o.Quick {
 		files = 600
 	}
-	data := runSweep(o, schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+	data := runSweep(o, "fig12", schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
 		return workload.Kernbench(vm, workload.KernbenchConfig{Files: int(float64(files) * o.Scale)})
 	})
 	rep := &Report{

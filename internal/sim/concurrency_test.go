@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// driveEnv runs a small but representative simulation — timers, processes,
+// signals and PRNG draws — and returns its observable trace.
+func driveEnv(seed uint64) []uint64 {
+	env := NewEnv(seed)
+	var trace []uint64
+	sig := NewSignal(env)
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			p.Sleep(Duration(env.Rand().Intn(900)+1) * Microsecond)
+			trace = append(trace, uint64(env.Now())^env.Rand().Uint64())
+			if i%10 == 0 {
+				sig.Broadcast()
+			}
+		}
+		sig.Broadcast()
+	})
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			sig.Wait(p)
+			trace = append(trace, env.Rand().Uint64())
+		}
+	})
+	env.Run()
+	return trace
+}
+
+// TestEnvsIsolatedAcrossGoroutines drives several environments from
+// separate OS goroutines at once. Identically-seeded environments must
+// produce identical traces, and the race detector must stay quiet — the
+// guarantee the parallel experiment executor depends on.
+func TestEnvsIsolatedAcrossGoroutines(t *testing.T) {
+	ref1, ref2 := driveEnv(1), driveEnv(2)
+	if len(ref1) == 0 || len(ref2) == 0 {
+		t.Fatal("empty reference trace")
+	}
+
+	const workers = 8
+	got := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Mix seeds so differently-seeded envs also run concurrently.
+			got[i] = driveEnv(uint64(i%2 + 1))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, tr := range got {
+		want := ref1
+		if i%2 == 1 {
+			want = ref2
+		}
+		if len(tr) != len(want) {
+			t.Fatalf("worker %d: trace length %d, want %d", i, len(tr), len(want))
+		}
+		for j := range tr {
+			if tr[j] != want[j] {
+				t.Fatalf("worker %d: trace diverges at %d under concurrency", i, j)
+			}
+		}
+	}
+}
+
+// TestRNGsIndependent checks two generators with distinct seeds do not
+// share state when advanced from separate goroutines.
+func TestRNGsIndependent(t *testing.T) {
+	refA, refB := NewRNG(7), NewRNG(8)
+	var wantA, wantB []uint64
+	for i := 0; i < 1000; i++ {
+		wantA = append(wantA, refA.Uint64())
+		wantB = append(wantB, refB.Uint64())
+	}
+	var wg sync.WaitGroup
+	check := func(seed uint64, want []uint64) {
+		defer wg.Done()
+		r := NewRNG(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Errorf("seed %d: draw %d = %d, want %d", seed, i, got, w)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go check(7, wantA)
+	go check(8, wantB)
+	wg.Wait()
+}

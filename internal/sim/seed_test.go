@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "fig12", "baseline", "512")
+	b := DeriveSeed(42, "fig12", "baseline", "512")
+	if a != b {
+		t.Fatalf("same inputs gave %d and %d", a, b)
+	}
+}
+
+func TestDeriveSeedLabelBoundaries(t *testing.T) {
+	// Concatenation across label boundaries must not collide.
+	if DeriveSeed(42, "ab", "c") == DeriveSeed(42, "a", "bc") {
+		t.Fatal(`("ab","c") collided with ("a","bc")`)
+	}
+	if DeriveSeed(42, "x") == DeriveSeed(42, "x", "") {
+		t.Fatal("trailing empty label collided")
+	}
+	if DeriveSeed(42) == DeriveSeed(42, "") {
+		t.Fatal("no labels collided with one empty label")
+	}
+}
+
+func TestDeriveSeedBaseSensitivity(t *testing.T) {
+	if DeriveSeed(42, "x") == DeriveSeed(43, "x") {
+		t.Fatal("adjacent bases collided")
+	}
+	if DeriveSeed(42, "x") == DeriveSeed(42^1<<63, "x") {
+		t.Fatal("high-bit base flip collided")
+	}
+}
+
+func TestDeriveSeedSpread(t *testing.T) {
+	// A realistic grid of (id, scheme, size) labels must be collision-free.
+	seen := make(map[uint64]string)
+	for _, id := range []string{"pbzip", "fig12", "fig13", "fig14", "fig4"} {
+		for _, scheme := range []string{"baseline", "balloon+base", "mapper", "vswapper", "balloon+vswap"} {
+			for size := 0; size < 1024; size += 8 {
+				key := fmt.Sprintf("%s/%s/%d", id, scheme, size)
+				s := DeriveSeed(42, id, scheme, fmt.Sprintf("%d", size))
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
