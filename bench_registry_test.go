@@ -1,0 +1,23 @@
+// BenchmarkRegistry runs every registered experiment as a sub-benchmark
+// (quick mode, reduced scale), so `go test -bench=Registry` walks the whole
+// evaluation and `-bench=Registry/fig5` isolates one figure. The memoized
+// pbzip2 sweep is reset each iteration so fig5/fig11 pay full cost.
+package vswapsim
+
+import (
+	"testing"
+
+	"vswapsim/internal/experiment"
+)
+
+func BenchmarkRegistry(b *testing.B) {
+	for _, e := range experiment.Registry {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiment.ResetCaches()
+				e.Run(benchOpts())
+			}
+		})
+	}
+}

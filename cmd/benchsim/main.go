@@ -1,0 +1,165 @@
+// Command benchsim records a benchmark trajectory for the simulator: it
+// runs every registry experiment in quick mode a fixed number of times,
+// keeps the best wall-clock time per experiment, and writes the result as
+// JSON (BENCH_sim.json at the repo root; regenerate with scripts/bench.sh).
+//
+// The report fingerprints are included and must be identical across
+// iterations — benchsim exits nonzero if a run is nondeterministic. Wall
+// times naturally vary between machines and checkouts; the fingerprints
+// must not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vswapsim/internal/experiment"
+)
+
+// cliConfig holds the parsed command line.
+type cliConfig struct {
+	iters    int
+	scale    float64
+	seed     uint64
+	parallel int
+	only     string
+	out      string
+}
+
+func parseArgs(args []string) (cliConfig, error) {
+	fs := flag.NewFlagSet("benchsim", flag.ContinueOnError)
+	var c cliConfig
+	fs.IntVar(&c.iters, "iters", 3, "iterations per experiment (best wall time is kept)")
+	fs.Float64Var(&c.scale, "scale", 0.125, "size scale factor for the benchmark runs")
+	fs.Uint64Var(&c.seed, "seed", 42, "random seed")
+	fs.IntVar(&c.parallel, "parallel", 1,
+		"worker pool size inside each experiment (1 = serial, the stable default for timing)")
+	fs.StringVar(&c.only, "only", "", "comma-separated experiment id filter")
+	fs.StringVar(&c.out, "o", "BENCH_sim.json", "output file (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if c.iters < 1 {
+		return c, fmt.Errorf("invalid -iters %d: must be >= 1", c.iters)
+	}
+	if c.scale <= 0 || c.scale > 16 {
+		return c, fmt.Errorf("invalid -scale %v: must be in (0, 16]", c.scale)
+	}
+	if c.parallel < 1 {
+		return c, fmt.Errorf("invalid -parallel %d: must be >= 1", c.parallel)
+	}
+	return c, nil
+}
+
+// BenchEntry is one experiment's measurement.
+type BenchEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	Fingerprint string  `json:"fingerprint"`
+	Iters       int     `json:"iters"`
+	BestMS      float64 `json:"best_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+}
+
+// BenchDoc is the trajectory file schema: the environment and options the
+// numbers were taken under, plus one entry per experiment in registry order.
+type BenchDoc struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Seed       uint64       `json:"seed"`
+	Scale      float64      `json:"scale"`
+	Quick      bool         `json:"quick"`
+	Parallel   int          `json:"parallel"`
+	Entries    []BenchEntry `json:"entries"`
+	TotalMS    float64      `json:"total_ms"`
+}
+
+func main() {
+	c, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+
+	exps := experiment.Registry
+	if c.only != "" {
+		exps = nil
+		for _, id := range strings.Split(c.only, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	opts := experiment.Options{Seed: c.seed, Scale: c.scale, Quick: true, Parallel: c.parallel}
+	doc := &BenchDoc{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       c.seed,
+		Scale:      c.scale,
+		Quick:      true,
+		Parallel:   c.parallel,
+	}
+	for _, e := range exps {
+		entry := BenchEntry{ID: e.ID, Title: e.Title, Iters: c.iters}
+		var sum float64
+		for i := 0; i < c.iters; i++ {
+			// Clear memoized sweeps so every iteration simulates from scratch.
+			experiment.ResetCaches()
+			start := time.Now()
+			rep := e.Run(opts)
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			fp := rep.Fingerprint()
+			if entry.Fingerprint == "" {
+				entry.Fingerprint = fp
+			} else if entry.Fingerprint != fp {
+				fmt.Fprintf(os.Stderr, "benchsim: %s is nondeterministic: fingerprint %s != %s\n",
+					e.ID, fp, entry.Fingerprint)
+				os.Exit(1)
+			}
+			if entry.BestMS == 0 || ms < entry.BestMS {
+				entry.BestMS = ms
+			}
+			sum += ms
+		}
+		entry.MeanMS = round3(sum / float64(c.iters))
+		entry.BestMS = round3(entry.BestMS)
+		doc.Entries = append(doc.Entries, entry)
+		doc.TotalMS += entry.BestMS
+		fmt.Fprintf(os.Stderr, "%-10s best %8.1f ms  mean %8.1f ms  (%s)\n",
+			e.ID, entry.BestMS, entry.MeanMS, entry.Fingerprint[:12])
+	}
+	doc.TotalMS = round3(doc.TotalMS)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if c.out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(c.out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (total best %.1f ms over %d experiments)\n",
+		c.out, doc.TotalMS, len(doc.Entries))
+}
+
+// round3 trims to 3 decimals so the checked-in JSON stays readable.
+func round3(ms float64) float64 {
+	return float64(int64(ms*1000+0.5)) / 1000
+}

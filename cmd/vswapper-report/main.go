@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,13 +24,15 @@ import (
 
 // cliConfig holds the parsed command line.
 type cliConfig struct {
-	scale    float64
-	seed     uint64
-	quick    bool
-	out      string
-	only     string
-	csvDir   string
-	parallel int
+	scale     float64
+	seed      uint64
+	quick     bool
+	out       string
+	only      string
+	csvDir    string
+	parallel  int
+	jsonOut   string
+	traceRing int
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -45,8 +48,15 @@ func parseArgs(args []string) (cliConfig, error) {
 	fs.StringVar(&c.csvDir, "csv", "", "also write each table as CSV into this directory")
 	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0),
 		"max concurrent simulator runs (1 = serial; results are identical either way)")
+	fs.StringVar(&c.jsonOut, "json", "",
+		"write the combined machine-readable report (JSON) to this file (\"-\" = stdout)")
+	fs.IntVar(&c.traceRing, "tracering", 0,
+		"attach a trace ring of this capacity to every machine; run reports embed its tail")
 	if err := fs.Parse(args); err != nil {
 		return c, err
+	}
+	if c.traceRing < 0 {
+		return c, fmt.Errorf("invalid -tracering %d: must be >= 0", c.traceRing)
 	}
 	if c.scale <= 0 || c.scale > 16 {
 		return c, fmt.Errorf("invalid -scale %v: must be in (0, 16]", c.scale)
@@ -94,7 +104,12 @@ func main() {
 		}
 	}
 
+	// With -json -, stdout carries the JSON document; the text report then
+	// only goes to the -o file (or nowhere).
 	var w io.Writer = os.Stdout
+	if c.jsonOut == "-" {
+		w = io.Discard
+	}
 	if c.out != "" {
 		f, err := os.Create(c.out)
 		if err != nil {
@@ -102,14 +117,21 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		if c.jsonOut == "-" {
+			w = f
+		} else {
+			w = io.MultiWriter(os.Stdout, f)
+		}
 	}
 
-	opts := experiment.Options{Seed: c.seed, Scale: c.scale, Quick: c.quick, Parallel: c.parallel}
+	opts := experiment.Options{
+		Seed: c.seed, Scale: c.scale, Quick: c.quick,
+		Parallel: c.parallel, TraceRing: c.traceRing,
+	}
 	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v parallel=%d)\n\n",
 		c.seed, c.scale, c.quick, c.parallel)
 	start := time.Now()
-	experiment.RunAll(exps, opts, func(r experiment.RunResult) {
+	results := experiment.RunAll(exps, opts, func(r experiment.RunResult) {
 		fmt.Fprint(w, r.Report.String())
 		fmt.Fprintf(w, "(%s generated in %v)\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
 		if c.csvDir != "" {
@@ -123,4 +145,24 @@ func main() {
 	})
 	fmt.Fprintf(w, "total wall time %v (-parallel %d)\n",
 		time.Since(start).Round(time.Millisecond), c.parallel)
+
+	if c.jsonOut != "" {
+		reps := make([]*experiment.JSONReport, len(results))
+		for i, r := range results {
+			reps[i] = experiment.BuildJSON(r.Report, r.Runs)
+		}
+		doc := experiment.BuildJSONDocument(opts, reps)
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if c.jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(c.jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -5,13 +5,22 @@
 //
 //	vswapsim -list
 //	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick] [-parallel N]
+//	         [-json] [-tracering N] [-cpuprofile f] [-memprofile f]
+//
+// With -json the experiment's machine-readable report is printed instead
+// of the text tables: tables and notes plus one run record per simulated
+// machine (counters, latency histograms, per-phase time accounting, and —
+// with -tracering — the trace tail). The JSON bytes are bit-identical
+// between serial (-parallel 1) and parallel runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"vswapsim/internal/experiment"
@@ -19,12 +28,16 @@ import (
 
 // cliConfig holds the parsed command line.
 type cliConfig struct {
-	list     bool
-	run      string
-	scale    float64
-	seed     uint64
-	quick    bool
-	parallel int
+	list       bool
+	run        string
+	scale      float64
+	seed       uint64
+	quick      bool
+	parallel   int
+	jsonOut    bool
+	traceRing  int
+	cpuProfile string
+	memProfile string
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -39,6 +52,12 @@ func parseArgs(args []string) (cliConfig, error) {
 	fs.BoolVar(&c.quick, "quick", false, "trim sweeps for a fast smoke run")
 	fs.IntVar(&c.parallel, "parallel", runtime.GOMAXPROCS(0),
 		"max concurrent simulator runs (1 = serial; results are identical either way)")
+	fs.BoolVar(&c.jsonOut, "json", false,
+		"emit the machine-readable report (tables + per-run counters/histograms/phases) as JSON")
+	fs.IntVar(&c.traceRing, "tracering", 0,
+		"attach a trace ring of this capacity to every machine; run reports embed its tail")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -47,6 +66,9 @@ func parseArgs(args []string) (cliConfig, error) {
 	}
 	if c.parallel < 1 {
 		return c, fmt.Errorf("invalid -parallel %d: must be >= 1", c.parallel)
+	}
+	if c.traceRing < 0 {
+		return c, fmt.Errorf("invalid -tracering %d: must be >= 0", c.traceRing)
 	}
 	return c, nil
 }
@@ -76,8 +98,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := experiment.Options{
+		Seed: c.seed, Scale: c.scale, Quick: c.quick,
+		Parallel: c.parallel, TraceRing: c.traceRing,
+	}
+	fetch := opts.EnableRunLog()
 	start := time.Now()
-	rep := e.Run(experiment.Options{Seed: c.seed, Scale: c.scale, Quick: c.quick, Parallel: c.parallel})
-	fmt.Print(rep.String())
-	fmt.Printf("(generated in %v wall time, -parallel %d)\n", time.Since(start).Round(time.Millisecond), c.parallel)
+	rep := e.Run(opts)
+	elapsed := time.Since(start)
+
+	if c.jsonOut {
+		doc := experiment.BuildJSONDocument(opts,
+			[]*experiment.JSONReport{experiment.BuildJSON(rep, fetch())})
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep.String())
+		fmt.Printf("(generated in %v wall time, -parallel %d)\n", elapsed.Round(time.Millisecond), c.parallel)
+	}
+
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

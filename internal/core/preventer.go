@@ -210,9 +210,13 @@ func (pv *Preventer) armDeadline(b *emuBuf) {
 	})
 }
 
-// release cleans up after finalization and wakes waiters.
+// release cleans up after finalization and wakes waiters. The buffer's
+// lifetime — first trapped write to remap/merge completion — lands in the
+// Preventer latency histogram (the paper's 1 ms deadline bounds its tail
+// only when merges do not queue behind a busy disk).
 func (pv *Preventer) release(b *emuBuf) {
 	pv.active--
 	b.pg.Emu = nil
 	b.done.Broadcast()
+	pv.Met.Histogram(metrics.HistPreventerLife).Observe(pv.Env.Now().Sub(b.firstWrite))
 }

@@ -66,6 +66,8 @@ func (d *Device) Submit(kind Kind, start int64, nblocks int) sim.Time {
 
 	d.met.Inc(metrics.DiskOps)
 	d.met.Add(metrics.DiskBusy, int64(svc))
+	d.met.Histogram(metrics.HistDiskQueue).Observe(begin.Sub(arrive))
+	d.met.Histogram(metrics.HistDiskService).Observe(svc)
 	sectors := int64(nblocks) * SectorsPerBlock
 	if kind == Read {
 		d.met.Add(metrics.DiskReadSectors, sectors)
@@ -78,7 +80,17 @@ func (d *Device) Submit(kind Kind, start int64, nblocks int) sim.Time {
 // Access performs a blocking transfer on behalf of process p: it submits
 // the request and sleeps until the device completes it.
 func (d *Device) Access(p *sim.Proc, kind Kind, start int64, nblocks int) {
-	done := d.Submit(kind, start, nblocks)
+	d.WaitFor(p, d.Submit(kind, start, nblocks))
+}
+
+// WaitFor blocks p until the completion time of a previously submitted
+// request, charging the stall to the disk-wait phase. Callers that sleep on
+// a Submit result should go through here so "time blocked on the disk" is
+// accounted in one place.
+func (d *Device) WaitFor(p *sim.Proc, done sim.Time) {
+	if wait := done.Sub(d.env.Now()); wait > 0 {
+		d.met.Add(metrics.TimeDiskWait, int64(wait))
+	}
 	p.SleepUntil(done)
 }
 

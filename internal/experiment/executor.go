@@ -68,11 +68,14 @@ func (o Options) forEach(n int, job func(i int)) {
 	wg.Wait()
 }
 
-// RunResult couples an experiment's report with its wall-clock cost.
+// RunResult couples an experiment's report with its wall-clock cost and
+// the per-machine run records the experiment produced (in deterministic
+// order; see json.go).
 type RunResult struct {
 	Experiment Experiment
 	Report     *Report
 	Elapsed    time.Duration
+	Runs       []RunRecord
 }
 
 // RunAll executes the given experiments under one shared worker pool and
@@ -89,8 +92,12 @@ func RunAll(exps []Experiment, o Options, emit func(RunResult)) []RunResult {
 	}
 	run := func(i int) RunResult {
 		start := time.Now()
-		rep := exps[i].Run(o)
-		return RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start)}
+		// Each experiment collects into a private run log so records from
+		// concurrently executing experiments cannot interleave.
+		oi := o
+		fetch := oi.EnableRunLog()
+		rep := exps[i].Run(oi)
+		return RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start), Runs: fetch()}
 	}
 	if o.Parallel <= 1 || len(exps) <= 1 {
 		for i := range exps {

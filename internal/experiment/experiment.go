@@ -70,10 +70,17 @@ type Options struct {
 	// regardless of the value: every fan-out job seeds its own sim.Env
 	// deterministically and owns its result slot (see executor.go).
 	Parallel int
+	// TraceRing, when positive, attaches a bounded trace ring of this
+	// capacity to every simulated machine; run reports then embed the tail
+	// of the ring. Tracing never changes virtual time.
+	TraceRing int
 
 	// lim is the run-slot pool shared by everything derived from this
 	// Options value; normalized creates it once per top-level invocation.
 	lim *limiter
+	// runlog, when armed via EnableRunLog, collects one RunRecord per
+	// simulated machine (see json.go).
+	runlog *runLog
 }
 
 func (o Options) normalized() Options {
@@ -301,6 +308,9 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 		rc.hostTweak(&mc)
 	}
 	m := hyper.NewMachine(mc)
+	if o.TraceRing > 0 {
+		m.EnableTrace(o.TraceRing)
+	}
 	gcfg := guest.DefaultConfig(o.pages(rc.guestMB))
 	if rc.guestTweak != nil {
 		rc.guestTweak(&gcfg)
@@ -344,6 +354,10 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 		m.Shutdown()
 	})
 	m.Run()
+	if o.runlog != nil {
+		o.runlog.add(fmt.Sprintf("%s/guest%dMB/actual%dMB/host%dMB/vcpus%d/seed%016x",
+			rc.scheme, rc.guestMB, rc.actualMB, hostMB, rc.vcpus, rc.seed), m.Report())
+	}
 	return out
 }
 

@@ -26,6 +26,9 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 		Seed:         seed,
 		HostMemPages: o.pages(8 * 1024),
 	})
+	if o.TraceRing > 0 {
+		m.EnableTrace(o.TraceRing)
+	}
 	vms := make([]*hyper.VM, n)
 	for i := range vms {
 		vms[i] = m.NewVM(hyper.VMConfig{
@@ -75,6 +78,9 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 		m.Shutdown()
 	})
 	m.Run()
+	if o.runlog != nil {
+		o.runlog.add(fmt.Sprintf("dynamic/%s/guests%d/seed%016x", scheme, n, seed), m.Report())
+	}
 	return total / sim.Duration(n), killed
 }
 

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"vswapsim/internal/hyper"
+)
+
+// This file is the machine-readable report path. Text tables (Report) stay
+// the human-facing output; JSONReport is the same content plus the
+// machine-level observability data (counters, latency histograms, phase
+// accounting, trace tails) that the tables do not surface.
+//
+// Determinism: run records are collected concurrently under the parallel
+// executor, so arrival order is scheduling-dependent. sorted() orders them
+// by (label, content hash); identical runs serialize identically, so the
+// final JSON bytes are bit-identical between serial and parallel execution.
+
+// RunRecord couples one simulated machine's report with a label describing
+// which run of the experiment produced it.
+type RunRecord struct {
+	Label  string           `json:"label"`
+	Report *hyper.RunReport `json:"report"`
+}
+
+// runLog accumulates RunRecords from concurrently executing runs.
+type runLog struct {
+	mu   sync.Mutex
+	recs []RunRecord
+}
+
+func (rl *runLog) add(label string, rep *hyper.RunReport) {
+	if rl == nil {
+		return
+	}
+	rl.mu.Lock()
+	rl.recs = append(rl.recs, RunRecord{Label: label, Report: rep})
+	rl.mu.Unlock()
+}
+
+// addRecords replays already-collected records (e.g. from a memoized sweep)
+// into this log. sorted() re-orders everything, so replay order is free.
+func (rl *runLog) addRecords(recs []RunRecord) {
+	if rl == nil || len(recs) == 0 {
+		return
+	}
+	rl.mu.Lock()
+	rl.recs = append(rl.recs, recs...)
+	rl.mu.Unlock()
+}
+
+// sorted returns the records in a scheduling-independent order: by label,
+// then by the sha256 of the serialized report (ties can only be records
+// with identical bytes, whose relative order is immaterial).
+func (rl *runLog) sorted() []RunRecord {
+	if rl == nil {
+		return nil
+	}
+	rl.mu.Lock()
+	recs := make([]RunRecord, len(rl.recs))
+	copy(recs, rl.recs)
+	rl.mu.Unlock()
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		data, err := json.Marshal(r.Report)
+		if err != nil {
+			panic("experiment: run report not serializable: " + err.Error())
+		}
+		sum := sha256.Sum256(data)
+		keys[i] = r.Label + "\x00" + hex.EncodeToString(sum[:])
+	}
+	sort.Sort(&recSorter{recs: recs, keys: keys})
+	return recs
+}
+
+type recSorter struct {
+	recs []RunRecord
+	keys []string
+}
+
+func (s *recSorter) Len() int           { return len(s.recs) }
+func (s *recSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *recSorter) Swap(i, j int) {
+	s.recs[i], s.recs[j] = s.recs[j], s.recs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// EnableRunLog arms per-run report collection on this Options value: every
+// machine simulated under it contributes a RunRecord. It returns the fetch
+// function; call it after the experiment finishes to get the records in
+// deterministic order. Collection follows the Options value into nested
+// runs, so enable it before passing Options to Run/RunAll.
+func (o *Options) EnableRunLog() func() []RunRecord {
+	rl := &runLog{}
+	o.runlog = rl
+	return rl.sorted
+}
+
+// JSONTable is a Table in serializable form.
+type JSONTable struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSONReport is the machine-readable form of one experiment's output:
+// the text report's identity, tables and notes, its fingerprint, and one
+// RunRecord per simulated machine (when collection was enabled).
+type JSONReport struct {
+	ID          string      `json:"id"`
+	Title       string      `json:"title"`
+	PaperNote   string      `json:"paper_note,omitempty"`
+	Fingerprint string      `json:"fingerprint"`
+	Tables      []JSONTable `json:"tables"`
+	Notes       []string    `json:"notes,omitempty"`
+	Runs        []RunRecord `json:"runs,omitempty"`
+}
+
+// BuildJSON assembles the machine-readable report from a finished text
+// report and its collected run records.
+func BuildJSON(rep *Report, runs []RunRecord) *JSONReport {
+	j := &JSONReport{
+		ID:          rep.ID,
+		Title:       rep.Title,
+		PaperNote:   rep.PaperNote,
+		Fingerprint: rep.Fingerprint(),
+		Notes:       rep.Notes,
+		Runs:        runs,
+	}
+	for _, t := range rep.Tables {
+		j.Tables = append(j.Tables, JSONTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	return j
+}
+
+// JSONDocument is the top-level -json output: the invocation parameters
+// plus one JSONReport per experiment, in registry order.
+type JSONDocument struct {
+	Seed        uint64        `json:"seed"`
+	Scale       float64       `json:"scale"`
+	Quick       bool          `json:"quick"`
+	Parallel    int           `json:"parallel"`
+	Experiments []*JSONReport `json:"experiments"`
+}
+
+// BuildJSONDocument wraps per-experiment JSON reports with the options
+// that produced them.
+func BuildJSONDocument(o Options, reps []*JSONReport) *JSONDocument {
+	o = o.normalized()
+	return &JSONDocument{
+		Seed:        o.Seed,
+		Scale:       o.Scale,
+		Quick:       o.Quick,
+		Parallel:    o.Parallel,
+		Experiments: reps,
+	}
+}

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
 )
 
@@ -48,6 +49,7 @@ func (t *Thread) FlushCPU() {
 	}
 	d := t.cpuDebt
 	t.cpuDebt = 0
+	t.OS.Met.Add(metrics.TimeGuestRun, int64(d))
 	t.OS.VCPU.Acquire(t.P)
 	t.P.Sleep(d)
 	t.OS.VCPU.Release()

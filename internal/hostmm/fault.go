@@ -51,6 +51,19 @@ func (m *Manager) accountFault(ctx Ctx, major bool) {
 	}
 }
 
+// accountFaultLatency records one serviced fault's end-to-end latency
+// (including lock waits, reclaim and disk time) in the matching histogram,
+// and charges the handler's CPU cost to the host-fault phase. Call it where
+// accountFault is called, with the fault entry time.
+func (m *Manager) accountFaultLatency(start sim.Time, major bool, cpu sim.Duration) {
+	name := metrics.HistFaultMinor
+	if major {
+		name = metrics.HistFaultMajor
+	}
+	m.Met.Histogram(name).Observe(m.Env.Now().Sub(start))
+	m.Met.Add(metrics.TimeHostFault, int64(cpu))
+}
+
 // lockFault serializes concurrent fault-ins: it returns false if another
 // process completed the fault while we waited (the caller should simply
 // return; the page is in a new state). On true, the caller owns the fault
@@ -85,6 +98,7 @@ func (m *Manager) FirstTouch(p *sim.Proc, pg *Page, ctx Ctx) {
 	if pg.State != Untouched && pg.State != Ballooned {
 		panic(fmt.Sprintf("hostmm: FirstTouch on %s page", pg.State))
 	}
+	start := m.Env.Now()
 	if !m.lockFault(p, pg, pg.State) {
 		return
 	}
@@ -99,6 +113,7 @@ func (m *Manager) FirstTouch(p *sim.Proc, pg *Page, ctx Ctx) {
 	pg.Owner.activeAnon.pushFront(pg)
 	m.accountFault(ctx, false)
 	p.Sleep(m.Cfg.MinorFaultCost)
+	m.accountFaultLatency(start, false, m.Cfg.MinorFaultCost)
 }
 
 // SwapIn services a major fault on a swapped-out page: it reads the
@@ -110,6 +125,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	if pg.State != SwappedOut {
 		return // resolved while the caller was getting here
 	}
+	faultStart := m.Env.Now()
 	if !m.lockFault(p, pg, SwappedOut) {
 		return // a concurrent fault brought the page in
 	}
@@ -140,7 +156,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		m.Met.Add(metrics.SwapReadSectors, int64(len(run))*disk.SectorsPerBlock)
 		start = i
 	}
-	p.SleepUntil(last)
+	m.Dev.WaitFor(p, last)
 
 	// The guest may have superseded the page while the read was in flight
 	// (balloon take after an OOM teardown, mmap-over): nothing to map.
@@ -201,6 +217,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	m.unpin(pg)
 	m.accountFault(ctx, true)
 	p.Sleep(m.Cfg.MajorFaultCost)
+	m.accountFaultLatency(faultStart, true, m.Cfg.MajorFaultCost)
 }
 
 // FileFaultIn services a major fault on a named non-resident page by
@@ -210,6 +227,7 @@ func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	if pg.State != FileNonResident {
 		return // resolved while the caller was getting here
 	}
+	faultStart := m.Env.Now()
 	if !m.lockFault(p, pg, FileNonResident) {
 		return // a concurrent fault brought the page in
 	}
@@ -242,7 +260,7 @@ func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
 
 	done := m.Dev.Submit(disk.Read, f.Phys(b), nblocks)
 	m.Met.Add(metrics.ImageReadSectors, int64(nblocks)*disk.SectorsPerBlock)
-	p.SleepUntil(done)
+	m.Dev.WaitFor(p, done)
 
 	if pg.State != FileNonResident {
 		return // superseded while the read was in flight
@@ -295,6 +313,7 @@ func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	m.unpin(pg)
 	m.accountFault(ctx, true)
 	p.Sleep(m.Cfg.MajorFaultCost)
+	m.accountFaultLatency(faultStart, true, m.Cfg.MajorFaultCost)
 }
 
 // MinorMap installs the GPA⇒HPA mapping for a resident page (prefetched by
@@ -305,6 +324,7 @@ func (m *Manager) MinorMap(p *sim.Proc, pg *Page, ctx Ctx) {
 	if !pg.State.Resident() {
 		panic(fmt.Sprintf("hostmm: MinorMap on %s page", pg.State))
 	}
+	start := m.Env.Now()
 	wasHit := !pg.EPT && (pg.SwapSlot >= 0 || pg.State == ResidentFile)
 	pg.EPT = true
 	m.Touch(pg)
@@ -320,6 +340,7 @@ func (m *Manager) MinorMap(p *sim.Proc, pg *Page, ctx Ctx) {
 	}
 	m.accountFault(ctx, false)
 	p.Sleep(m.Cfg.MinorFaultCost)
+	m.accountFaultLatency(start, false, m.Cfg.MinorFaultCost)
 }
 
 // MarkWritten records an actual write when EPT dirty bits are available
@@ -341,6 +362,7 @@ func (m *Manager) COWBreak(p *sim.Proc, pg *Page, ctx Ctx) {
 	if pg.State != ResidentFile {
 		panic(fmt.Sprintf("hostmm: COWBreak on %s page", pg.State))
 	}
+	start := m.Env.Now()
 	f := pg.Backing.File
 	f.RemoveMapping(pg)
 	if pg.list != nil {
@@ -359,6 +381,7 @@ func (m *Manager) COWBreak(p *sim.Proc, pg *Page, ctx Ctx) {
 	m.Met.Inc(metrics.HostCOWBreaks)
 	m.accountFault(ctx, false)
 	p.Sleep(m.Cfg.COWCost)
+	m.accountFaultLatency(start, false, m.Cfg.COWCost)
 }
 
 // Forget releases whatever the host holds for the page (frame, swap slot,

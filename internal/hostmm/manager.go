@@ -379,7 +379,9 @@ func (m *Manager) reclaim(p *sim.Proc, cg *Cgroup, target int) int {
 		m.submitSwapWrites(swapWrites)
 	}
 	if p != nil && scanned > 0 {
-		p.Sleep(sim.Duration(scanned) * m.Cfg.PageScanCost)
+		scanTime := sim.Duration(scanned) * m.Cfg.PageScanCost
+		m.Met.Add(metrics.TimeReclaimScan, int64(scanTime))
+		p.Sleep(scanTime)
 	}
 	// Writeback congestion: don't let a reclaimer run ahead of the disk
 	// indefinitely; wait until the queued backlog is bounded.

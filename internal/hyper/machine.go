@@ -40,6 +40,7 @@ type Machine struct {
 
 	stopKswapd func()
 	trace      *trace.Ring
+	seed       uint64
 }
 
 // NewMachine builds a host.
@@ -67,6 +68,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		Layout: layout,
 		Pool:   pool,
 		MM:     mm,
+		seed:   cfg.Seed,
 	}
 	m.stopKswapd = mm.StartKswapd(hostmm.DefaultKswapdConfig())
 	return m

@@ -182,7 +182,7 @@ func (vm *VM) DiskRead(p *sim.Proc, gfns []int, start int64) {
 		}
 		done := vm.M.Dev.Submit(disk.Read, vm.imagePhys(start), len(gfns))
 		met.Add(metrics.ImageReadSectors, int64(len(gfns))*disk.SectorsPerBlock)
-		p.SleepUntil(done)
+		vm.M.Dev.WaitFor(p, done)
 		vm.Mapper.OnDiskRead(p, pages, start)
 		return
 	}
@@ -195,7 +195,7 @@ func (vm *VM) DiskRead(p *sim.Proc, gfns []int, start int64) {
 	}
 	done := vm.M.Dev.Submit(disk.Read, vm.imagePhys(start), len(gfns))
 	met.Add(metrics.ImageReadSectors, int64(len(gfns))*disk.SectorsPerBlock)
-	p.SleepUntil(done)
+	vm.M.Dev.WaitFor(p, done)
 	for i, pg := range pages {
 		// DMA wrote the frame through QEMU's mapping: host knows it is
 		// dirty; ground truth says it now equals the block.
@@ -277,7 +277,7 @@ func (vm *VM) DiskWrite(p *sim.Proc, gfns []int, start int64) {
 	}
 	done := vm.M.Dev.Submit(disk.Write, vm.imagePhys(start), len(gfns))
 	met.Add(metrics.ImageWriteSectors, int64(len(gfns))*disk.SectorsPerBlock)
-	p.SleepUntil(done) // writethrough caching: completion after durability
+	vm.M.Dev.WaitFor(p, done) // writethrough caching: completion after durability
 	for i, pg := range pages {
 		pg.TruthBlock = hostmm.BlockRef{File: vm.Image, Block: start + int64(i)}
 		pg.TruthClean = true

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"vswapsim/internal/sim"
+)
+
+// Histogram names used across the simulator. Like the counter names above,
+// they are centralized so the report schema stays greppable. All histograms
+// record virtual nanoseconds.
+const (
+	// HistFaultMajor is the end-to-end latency of host major faults (the
+	// disk read plus fault-handling CPU), per serviced fault.
+	HistFaultMajor = "hist.fault.major.ns"
+	// HistFaultMinor is the latency of minor fault handling (FirstTouch,
+	// MinorMap, COW breaks), which includes any reclaim the charge forced.
+	HistFaultMinor = "hist.fault.minor.ns"
+	// HistDiskQueue is how long a disk request waited behind earlier
+	// requests before the device started serving it.
+	HistDiskQueue = "hist.disk.queue.ns"
+	// HistDiskService is the device service time of one request (seek +
+	// rotation + transfer).
+	HistDiskService = "hist.disk.service.ns"
+	// HistPreventerLife is the lifetime of a Preventer emulation buffer,
+	// from the first trapped write to remap/merge completion.
+	HistPreventerLife = "hist.preventer.lifetime.ns"
+)
+
+// histBuckets is the number of power-of-two buckets. Bucket i counts
+// observations in [2^i, 2^(i+1)) ns (bucket 0 also absorbs v <= 1), so the
+// range spans 1 ns to ~3.2 virtual days — every latency the simulator can
+// produce. Fixed boundaries keep histograms mergeable and bit-identical
+// across runs: no adaptive resizing, no floating-point accumulation.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket latency histogram over virtual durations.
+// Observations and quantiles are pure integer arithmetic, so identical
+// observation multisets yield identical snapshots regardless of order —
+// the property the serial-vs-parallel equivalence tests rely on.
+type Histogram struct {
+	name    string
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// Name returns the histogram name.
+func (h *Histogram) Name() string { return h.name }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in nanoseconds.
+func BucketUpper(i int) int64 { return int64(1) << (i + 1) }
+
+// Observe records one duration. Negative durations are a bug in the
+// caller's accounting.
+func (h *Histogram) Observe(d sim.Duration) {
+	v := int64(d)
+	if v < 0 {
+		panic(fmt.Sprintf("metrics: negative observation %d in %s", v, h.name))
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// SumNS returns the total of all observed durations in nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sum }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) in
+// nanoseconds: the upper boundary of the bucket holding the rank-q
+// observation. Zero if the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// P50, P95 and P99 are the quantile helpers the reports use.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64 { return h.Quantile(0.95) }
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Merge adds other's observations into h. Because boundaries are fixed,
+// merging is exact.
+func (h *Histogram) Merge(other *Histogram) {
+	h.count += other.count
+	h.sum += other.sum
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+}
+
+// BucketCount is one non-empty bucket in a snapshot: N observations with
+// duration < LeNS (and >= LeNS/2, except the first bucket).
+type BucketCount struct {
+	LeNS int64 `json:"le_ns"`
+	N    int64 `json:"n"`
+}
+
+// HistogramSnapshot is the serializable view of a histogram: totals,
+// quantile summaries, and the non-empty buckets.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	SumNS   int64         `json:"sum_ns"`
+	P50NS   int64         `json:"p50_ns"`
+	P95NS   int64         `json:"p95_ns"`
+	P99NS   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count,
+		SumNS: h.sum,
+		P50NS: h.P50(),
+		P95NS: h.P95(),
+		P99NS: h.P99(),
+	}
+	for i, n := range h.buckets {
+		if n != 0 {
+			s.Buckets = append(s.Buckets, BucketCount{LeNS: BucketUpper(i), N: n})
+		}
+	}
+	return s
+}
+
+// String renders a one-line summary, e.g. for debugging dumps.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s count=%d p50=%s p95=%s p99=%s",
+		h.name, h.count,
+		sim.Duration(h.P50()), sim.Duration(h.P95()), sim.Duration(h.P99()))
+}
+
+// Histogram returns (creating if needed) the named histogram of the set.
+func (s *Set) Histogram(name string) *Histogram {
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Histograms returns the set's histograms sorted by name.
+func (s *Set) Histograms() []*Histogram {
+	names := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]*Histogram, len(names))
+	for i, k := range names {
+		out[i] = s.hists[k]
+	}
+	return out
+}
+
+// HistogramString renders every non-empty histogram, one per line.
+func (s *Set) HistogramString() string {
+	var b strings.Builder
+	for _, h := range s.Histograms() {
+		if h.Count() > 0 {
+			b.WriteString(h.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"vswapsim/internal/sim"
+)
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10},
+		{1 << 47, 47}, {1<<47 - 1, 46}, {1<<62 + 5, 47}, // cap at the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if c.want < histBuckets-1 && c.v > BucketUpper(c.want) {
+			t.Errorf("value %d exceeds its bucket upper bound %d", c.v, BucketUpper(c.want))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{name: "test"}
+	if h.P50() != 0 || h.P99() != 0 {
+		t.Fatalf("empty histogram quantiles: p50=%d p99=%d, want 0", h.P50(), h.P99())
+	}
+	// 100 observations: 90 fast (1us bucket: [1024, 2048)), 10 slow
+	// (1ms bucket: [2^19, 2^20) = [524288, 1048576)).
+	for i := 0; i < 90; i++ {
+		h.Observe(1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(600000)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.SumNS(); got != 90*1500+10*600000 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.P50(); got != 2048 {
+		t.Errorf("p50 = %d, want 2048 (fast bucket upper bound)", got)
+	}
+	// rank ceil(0.95*100)=95 lands in the slow bucket.
+	if got := h.P95(); got != 1048576 {
+		t.Errorf("p95 = %d, want 1048576 (slow bucket upper bound)", got)
+	}
+	if got := h.P99(); got != 1048576 {
+		t.Errorf("p99 = %d, want 1048576", got)
+	}
+}
+
+func TestObservePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe(-1) did not panic")
+		}
+	}()
+	h := &Histogram{name: "neg"}
+	h.Observe(sim.Duration(-1))
+}
+
+func TestHistogramMergeAndOrderIndependence(t *testing.T) {
+	obs := []int64{1, 5, 17, 900, 1 << 20, 3, 3, 250000, 42}
+	forward := &Histogram{name: "f"}
+	for _, v := range obs {
+		forward.Observe(sim.Duration(v))
+	}
+	backward := &Histogram{name: "b"}
+	for i := len(obs) - 1; i >= 0; i-- {
+		backward.Observe(sim.Duration(obs[i]))
+	}
+	if !reflect.DeepEqual(forward.Snapshot(), backward.Snapshot()) {
+		t.Errorf("snapshot depends on observation order:\n%+v\n%+v",
+			forward.Snapshot(), backward.Snapshot())
+	}
+
+	// Merging two halves equals observing everything in one histogram.
+	a, bh := &Histogram{name: "a"}, &Histogram{name: "b"}
+	for i, v := range obs {
+		if i%2 == 0 {
+			a.Observe(sim.Duration(v))
+		} else {
+			bh.Observe(sim.Duration(v))
+		}
+	}
+	a.Merge(bh)
+	if !reflect.DeepEqual(a.Snapshot(), forward.Snapshot()) {
+		t.Errorf("merge != direct observation:\n%+v\n%+v", a.Snapshot(), forward.Snapshot())
+	}
+}
+
+func TestSnapshotBucketsNonEmptyOnly(t *testing.T) {
+	h := &Histogram{name: "s"}
+	h.Observe(1)      // bucket 0, le 2
+	h.Observe(1)      // bucket 0
+	h.Observe(100000) // bucket 16, le 131072
+	want := []BucketCount{{LeNS: 2, N: 2}, {LeNS: 131072, N: 1}}
+	if got := h.Snapshot().Buckets; !reflect.DeepEqual(got, want) {
+		t.Errorf("buckets = %+v, want %+v", got, want)
+	}
+}
+
+func TestSetHistogramAccessors(t *testing.T) {
+	s := NewSet()
+	s.Histogram("z.last").Observe(10)
+	s.Histogram("a.first").Observe(20)
+	if h := s.Histogram("z.last"); h.Count() != 1 {
+		t.Fatalf("histogram not persistent across lookups: count=%d", h.Count())
+	}
+	hs := s.Histograms()
+	if len(hs) != 2 || hs[0].Name() != "a.first" || hs[1].Name() != "z.last" {
+		t.Fatalf("Histograms() not sorted by name: %v, %v", hs[0].Name(), hs[1].Name())
+	}
+	if s.HistogramString() == "" {
+		t.Fatal("HistogramString() empty for non-empty set")
+	}
+}

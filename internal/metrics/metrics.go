@@ -73,13 +73,24 @@ const (
 	// Balloon.
 	BalloonInflatePages = "balloon.inflate.pages"
 	BalloonDeflatePages = "balloon.deflate.pages"
+
+	// Per-phase simulated-time accounting (all virtual nanoseconds). These
+	// answer "where does simulated time go": guest CPU execution, host
+	// fault-handling CPU, blocking waits for the disk, and reclaim scans.
+	// Phases overlap with each other and with idle waits, so they do not
+	// sum to the final virtual time; each is a total across all processes.
+	TimeGuestRun    = "time.guestrun.ns"
+	TimeHostFault   = "time.hostfault.ns"
+	TimeDiskWait    = "time.diskwait.ns"
+	TimeReclaimScan = "time.reclaim.scan.ns"
 )
 
-// Set is a bag of named counters plus optional time series. The zero value
-// is not usable; create one with NewSet.
+// Set is a bag of named counters plus optional time series and latency
+// histograms. The zero value is not usable; create one with NewSet.
 type Set struct {
 	counters map[string]int64
 	series   map[string]*Series
+	hists    map[string]*Histogram
 }
 
 // NewSet returns an empty metric set.
@@ -87,6 +98,7 @@ func NewSet() *Set {
 	return &Set{
 		counters: make(map[string]int64),
 		series:   make(map[string]*Series),
+		hists:    make(map[string]*Histogram),
 	}
 }
 

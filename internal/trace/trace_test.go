@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -41,6 +42,53 @@ func TestRingWraps(t *testing.T) {
 	}
 	if ev[0].Msg != "e6" || ev[3].Msg != "e9" {
 		t.Fatalf("wrap order wrong: %v", ev)
+	}
+}
+
+func TestNilRingStringEmpty(t *testing.T) {
+	var r *Ring
+	if r.String() != "" {
+		t.Fatal("nil ring dump not empty")
+	}
+}
+
+// TestRingExactCapacity pins the boundary where the write index lands back
+// on zero: exactly capacity events means wrapped bookkeeping with nothing
+// yet overwritten, and the dump must still be oldest-to-newest.
+func TestRingExactCapacity(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 4; i++ {
+		r.Add(sim.Time(i), Fault, "e%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 4 || r.Len() != 4 {
+		t.Fatalf("len = %d/%d, want 4", len(ev), r.Len())
+	}
+	for i, e := range ev {
+		if e.At != sim.Time(i) {
+			t.Fatalf("event %d at %v, want %v", i, e.At, sim.Time(i))
+		}
+	}
+}
+
+// TestRingWrapFullOrder checks every retained event after several full
+// wraps, not just the endpoints: the dump is the last `capacity` events in
+// emission order.
+func TestRingWrapFullOrder(t *testing.T) {
+	const capacity, emitted = 5, 17
+	r := New(capacity)
+	for i := 0; i < emitted; i++ {
+		r.Add(sim.Time(i), Reclaim, "e%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != capacity {
+		t.Fatalf("len = %d, want %d", len(ev), capacity)
+	}
+	for i, e := range ev {
+		want := emitted - capacity + i
+		if e.At != sim.Time(want) || e.Msg != fmt.Sprintf("e%d", want) {
+			t.Fatalf("event %d = {%v %q}, want seq %d", i, e.At, e.Msg, want)
+		}
 	}
 }
 
