@@ -20,19 +20,22 @@ import (
 	"time"
 
 	"vswapsim/internal/experiment"
+	"vswapsim/internal/fault"
 )
 
 // cliConfig holds the parsed command line.
 type cliConfig struct {
-	scale     float64
-	seed      uint64
-	quick     bool
-	out       string
-	only      string
-	csvDir    string
-	parallel  int
-	jsonOut   string
-	traceRing int
+	scale      float64
+	seed       uint64
+	quick      bool
+	out        string
+	only       string
+	csvDir     string
+	parallel   int
+	jsonOut    string
+	traceRing  int
+	faults     fault.Plan
+	auditEvery int
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -52,6 +55,10 @@ func parseArgs(args []string) (cliConfig, error) {
 		"write the combined machine-readable report (JSON) to this file (\"-\" = stdout)")
 	fs.IntVar(&c.traceRing, "tracering", 0,
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
+	faultSpec := fs.String("faults", "",
+		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
+	fs.IntVar(&c.auditEvery, "auditevery", 0,
+		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -63,6 +70,13 @@ func parseArgs(args []string) (cliConfig, error) {
 	}
 	if c.parallel < 1 {
 		return c, fmt.Errorf("invalid -parallel %d: must be >= 1", c.parallel)
+	}
+	if c.auditEvery < 0 {
+		return c, fmt.Errorf("invalid -auditevery %d: must be >= 0", c.auditEvery)
+	}
+	var err error
+	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
+		return c, fmt.Errorf("invalid -faults: %v", err)
 	}
 	return c, nil
 }
@@ -127,9 +141,13 @@ func main() {
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
+		Faults: c.faults, AuditEvery: c.auditEvery,
 	}
 	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v parallel=%d)\n\n",
 		c.seed, c.scale, c.quick, c.parallel)
+	if !c.faults.Empty() {
+		fmt.Fprintf(w, "fault injection active: %s (auditevery=%d)\n\n", c.faults, c.auditEvery)
+	}
 	start := time.Now()
 	results := experiment.RunAll(exps, opts, func(r experiment.RunResult) {
 		fmt.Fprint(w, r.Report.String())

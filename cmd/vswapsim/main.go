@@ -5,7 +5,8 @@
 //
 //	vswapsim -list
 //	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick] [-parallel N]
-//	         [-json] [-tracering N] [-cpuprofile f] [-memprofile f]
+//	         [-json] [-tracering N] [-faults spec] [-auditevery N]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // With -json the experiment's machine-readable report is printed instead
 // of the text tables: tables and notes plus one run record per simulated
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"vswapsim/internal/experiment"
+	"vswapsim/internal/fault"
 )
 
 // cliConfig holds the parsed command line.
@@ -36,6 +38,8 @@ type cliConfig struct {
 	parallel   int
 	jsonOut    bool
 	traceRing  int
+	faults     fault.Plan
+	auditEvery int
 	cpuProfile string
 	memProfile string
 }
@@ -56,6 +60,10 @@ func parseArgs(args []string) (cliConfig, error) {
 		"emit the machine-readable report (tables + per-run counters/histograms/phases) as JSON")
 	fs.IntVar(&c.traceRing, "tracering", 0,
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
+	faultSpec := fs.String("faults", "",
+		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
+	fs.IntVar(&c.auditEvery, "auditevery", 0,
+		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +77,13 @@ func parseArgs(args []string) (cliConfig, error) {
 	}
 	if c.traceRing < 0 {
 		return c, fmt.Errorf("invalid -tracering %d: must be >= 0", c.traceRing)
+	}
+	if c.auditEvery < 0 {
+		return c, fmt.Errorf("invalid -auditevery %d: must be >= 0", c.auditEvery)
+	}
+	var err error
+	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
+		return c, fmt.Errorf("invalid -faults: %v", err)
 	}
 	return c, nil
 }
@@ -116,6 +131,7 @@ func main() {
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
+		Faults: c.faults, AuditEvery: c.auditEvery,
 	}
 	fetch := opts.EnableRunLog()
 	start := time.Now()

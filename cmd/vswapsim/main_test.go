@@ -62,3 +62,29 @@ func TestParseArgsTable(t *testing.T) {
 		})
 	}
 }
+
+func TestParseArgsFaults(t *testing.T) {
+	c, err := parseArgs([]string{"-run", "fig3", "-faults", "disk-read-err:0.01;disk-lat:0.05", "-auditevery", "512"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.faults.String(); got != "disk-read-err:0.01;disk-lat:0.05:2ms" {
+		t.Fatalf("parsed plan %q", got)
+	}
+	if c.auditEvery != 512 {
+		t.Fatalf("auditEvery = %d", c.auditEvery)
+	}
+
+	if c, err := parseArgs(nil); err != nil || !c.faults.Empty() {
+		t.Fatalf("default faults: %+v, %v", c.faults, err)
+	}
+	for _, bad := range [][]string{
+		{"-faults", "bogus:0.5"},
+		{"-faults", "disk-read-err:2"},
+		{"-auditevery", "-1"},
+	} {
+		if _, err := parseArgs(bad); err == nil {
+			t.Errorf("parseArgs(%v) succeeded, want error", bad)
+		}
+	}
+}

@@ -80,6 +80,11 @@ func buf(pg *hostmm.Page) *emuBuf { return pg.Emu.(*emuBuf) }
 // rep marks full-page string instructions, which are short-circuited: the
 // whole page will be overwritten, so the buffer is remapped immediately.
 func (pv *Preventer) HandleWriteFault(p *sim.Proc, pg *hostmm.Page, off, n int, rep bool) bool {
+	if pv.MM.Inj.EmulationStarved() {
+		// Injected buffer starvation: behave as if no emulation buffer
+		// could be allocated and fall back to the eager swap-in path.
+		return false
+	}
 	if rep || (off == 0 && n >= mem.PageSize) {
 		// Guaranteed full overwrite: skip buffering entirely.
 		pv.MM.BeginEmulation(pg)

@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 
+	"vswapsim/internal/fault"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
 )
@@ -31,9 +32,27 @@ type Device struct {
 	env     *sim.Env
 	model   LatencyModel
 	met     *metrics.Set
-	headPos int64    // next sequential block after the last transfer
-	freeAt  sim.Time // when the device finishes its queued work
+	inj     *fault.Injector // nil unless fault injection is on
+	headPos int64           // next sequential block after the last transfer
+	freeAt  sim.Time        // when the device finishes its queued work
 }
+
+// Injected-error retry policy: the firmware/driver pair retries a failed
+// transfer with exponential backoff up to errMaxRetries times; exhaustion
+// is counted and the request then completes anyway — the analytic queue
+// model has no error propagation, so exhaustion models recovery at the
+// controller level, visible only as latency and counters.
+const (
+	errMaxRetries   = 5
+	errRetryBackoff = 500 * sim.Microsecond
+)
+
+// SetInjector attaches a fault injector to the device (nil turns
+// injection off). Injected read/write errors extend the request's service
+// time by backoff-plus-retransfer per retry; injected latency spikes
+// extend it by the plan's spike duration. Both therefore show up in the
+// existing hist.disk.service.ns distribution.
+func (d *Device) SetInjector(in *fault.Injector) { d.inj = in }
 
 // NewDevice returns a drive using the given latency model. Metrics may be
 // nil to disable accounting.
@@ -60,6 +79,21 @@ func (d *Device) Submit(kind Kind, start int64, nblocks int) sim.Time {
 		begin = arrive
 	}
 	svc := d.model.Service(d.headPos, start, nblocks)
+	if d.inj != nil {
+		svc += d.inj.DiskDelay()
+		for retries := 0; d.inj.DiskError(kind == Write); {
+			if retries == errMaxRetries {
+				d.met.Inc(metrics.FaultDiskExhausted)
+				break
+			}
+			backoff := errRetryBackoff << retries
+			retries++
+			// Backoff, then re-transfer from the same position.
+			svc += backoff + d.model.Service(start, start, nblocks)
+			d.met.Inc(metrics.FaultDiskRetries)
+			d.met.Histogram(metrics.HistFaultBackoff).Observe(backoff)
+		}
+	}
 	done := begin.Add(svc)
 	d.freeAt = done
 	d.headPos = start + int64(nblocks)

@@ -1,0 +1,75 @@
+package disk
+
+import (
+	"testing"
+
+	"vswapsim/internal/fault"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// TestInjectedLatencySpike: a rate-1 disk-lat rule extends every request's
+// completion time by exactly the configured spike.
+func TestInjectedLatencySpike(t *testing.T) {
+	const extra = 5 * sim.Millisecond
+	done := func(spec string) sim.Time {
+		env := sim.NewEnv(1)
+		met := metrics.NewSet()
+		d := NewDevice(env, Constellation7200(), met)
+		if spec != "" {
+			d.SetInjector(fault.New(fault.MustParse(spec), 7, met))
+		}
+		return d.Submit(Read, 100, 4)
+	}
+	plain := done("")
+	spiked := done("disk-lat:1:5ms")
+	if got := spiked.Sub(plain); got != extra {
+		t.Fatalf("latency spike added %v, want %v", got, extra)
+	}
+}
+
+// TestInjectedErrorRetries: a rate-1 error rule exhausts the retry budget,
+// counting each retry and the final exhaustion, and the request still
+// completes (later than a clean one).
+func TestInjectedErrorRetries(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	d := NewDevice(env, Constellation7200(), met)
+	clean := d.model.Service(d.headPos, 100, 4)
+	d.SetInjector(fault.New(fault.MustParse("disk-write-err:1"), 7, met))
+	done := d.Submit(Write, 100, 4)
+	if got := met.Get(metrics.FaultDiskRetries); got != int64(errMaxRetries) {
+		t.Errorf("%s = %d, want %d", metrics.FaultDiskRetries, got, errMaxRetries)
+	}
+	if got := met.Get(metrics.FaultDiskExhausted); got != 1 {
+		t.Errorf("%s = %d, want 1", metrics.FaultDiskExhausted, got)
+	}
+	if met.Get(metrics.FaultDiskReadErrors) != 0 {
+		t.Error("write errors counted as read errors")
+	}
+	if sim.Time(0).Add(clean) >= done {
+		t.Errorf("retried request done at %v, not later than clean service %v", done, clean)
+	}
+}
+
+// TestInjectionDeterministic: two identically seeded devices under the same
+// plan produce identical completion times for identical request streams.
+func TestInjectionDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		env := sim.NewEnv(1)
+		met := metrics.NewSet()
+		d := NewDevice(env, Constellation7200(), met)
+		d.SetInjector(fault.New(fault.MustParse("disk-read-err:0.2;disk-lat:0.3:1ms"), 42, met))
+		var out []sim.Time
+		for i := 0; i < 100; i++ {
+			out = append(out, d.Submit(Read, int64(i*8), 4))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d completion differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

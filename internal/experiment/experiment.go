@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"strings"
 
+	"vswapsim/internal/fault"
+	"vswapsim/internal/fault/audit"
 	"vswapsim/internal/guest"
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/sim"
@@ -74,6 +76,18 @@ type Options struct {
 	// capacity to every simulated machine; run reports then embed the tail
 	// of the ring. Tracing never changes virtual time.
 	TraceRing int
+	// Faults is the deterministic fault-injection plan threaded into every
+	// simulated machine (see internal/fault). The zero Plan injects
+	// nothing and leaves all output byte-identical to a faultless build;
+	// a non-empty plan stays bit-identical across -parallel values because
+	// each machine's injector derives its stream from that machine's seed.
+	Faults fault.Plan
+	// AuditEvery, when positive, attaches the invariant auditor to every
+	// simulated machine, checking global invariants every AuditEvery
+	// simulated events (test mode; a full check is O(pages), so stride
+	// accordingly). A violation panics with the machine seed and the fault
+	// spec so the failure replays exactly.
+	AuditEvery int
 
 	// lim is the run-slot pool shared by everything derived from this
 	// Options value; normalized creates it once per top-level invocation.
@@ -303,11 +317,13 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 	mc := hyper.MachineConfig{
 		Seed:         rc.seed,
 		HostMemPages: o.pages(hostMB),
+		Faults:       o.Faults,
 	}
 	if rc.hostTweak != nil {
 		rc.hostTweak(&mc)
 	}
 	m := hyper.NewMachine(mc)
+	checkAudit := o.attachAudit(m, rc.seed)
 	if o.TraceRing > 0 {
 		m.EnableTrace(o.TraceRing)
 	}
@@ -354,11 +370,30 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 		m.Shutdown()
 	})
 	m.Run()
+	checkAudit()
 	if o.runlog != nil {
 		o.runlog.add(fmt.Sprintf("%s/guest%dMB/actual%dMB/host%dMB/vcpus%d/seed%016x",
 			rc.scheme, rc.guestMB, rc.actualMB, hostMB, rc.vcpus, rc.seed), m.Report())
 	}
 	return out
+}
+
+// attachAudit hooks the invariant auditor into the machine when
+// o.AuditEvery is positive. Call the returned function after Machine.Run:
+// it panics with a replayable message (machine seed + fault spec) on the
+// first invariant violation the run produced.
+func (o Options) attachAudit(m *hyper.Machine, seed uint64) func() {
+	if o.AuditEvery <= 0 {
+		return func() {}
+	}
+	a := audit.Attach(m, o.AuditEvery)
+	return func() {
+		if err := a.Final(); err != nil {
+			panic(fmt.Sprintf(
+				"experiment: invariant violation (replay with seed=%d faults=%q; machine seed %#x): %v",
+				o.Seed, o.Faults.String(), seed, err))
+		}
+	}
 }
 
 // runtimeOrKilled renders a result cell, flagging OOM kills the way the

@@ -25,7 +25,9 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 	m := hyper.NewMachine(hyper.MachineConfig{
 		Seed:         seed,
 		HostMemPages: o.pages(8 * 1024),
+		Faults:       o.Faults,
 	})
+	checkAudit := o.attachAudit(m, seed)
 	if o.TraceRing > 0 {
 		m.EnableTrace(o.TraceRing)
 	}
@@ -78,6 +80,7 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 		m.Shutdown()
 	})
 	m.Run()
+	checkAudit()
 	if o.runlog != nil {
 		o.runlog.add(fmt.Sprintf("dynamic/%s/guests%d/seed%016x", scheme, n, seed), m.Report())
 	}

@@ -140,10 +140,13 @@ func BuildJSON(rep *Report, runs []RunRecord) *JSONReport {
 // JSONDocument is the top-level -json output: the invocation parameters
 // plus one JSONReport per experiment, in registry order.
 type JSONDocument struct {
-	Seed        uint64        `json:"seed"`
-	Scale       float64       `json:"scale"`
-	Quick       bool          `json:"quick"`
-	Parallel    int           `json:"parallel"`
+	Seed     uint64  `json:"seed"`
+	Scale    float64 `json:"scale"`
+	Quick    bool    `json:"quick"`
+	Parallel int     `json:"parallel"`
+	// Faults is the canonical fault-injection spec; omitted (keeping the
+	// document byte-identical to faultless builds) when no plan is set.
+	Faults      string        `json:"faults,omitempty"`
 	Experiments []*JSONReport `json:"experiments"`
 }
 
@@ -156,6 +159,7 @@ func BuildJSONDocument(o Options, reps []*JSONReport) *JSONDocument {
 		Scale:       o.Scale,
 		Quick:       o.Quick,
 		Parallel:    o.Parallel,
+		Faults:      o.Faults.String(),
 		Experiments: reps,
 	}
 }

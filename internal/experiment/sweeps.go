@@ -115,7 +115,7 @@ func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 	// Fig. 5's axis extends to 128 MB, where the paper's guest OOM-kills
 	// pbzip2 under the static balloon ("below 240MB" on their axis).
 	sizes := append(sweepSizes(o), 128)
-	key := fmt.Sprintf("%d/%f/%v", o.Seed, o.Scale, o.Quick)
+	key := fmt.Sprintf("%d/%f/%v/%s/%d", o.Seed, o.Scale, o.Quick, o.Faults, o.AuditEvery)
 	pbzipMu.Lock()
 	e := pbzipCache[key]
 	if e == nil {

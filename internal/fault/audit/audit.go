@@ -1,0 +1,171 @@
+// Package audit is the invariant-audit harness: a machine-checked
+// correctness oracle that can run after every simulated event (test mode)
+// and asserts the global invariants the fault-injection layer is supposed
+// to preserve — no page mapped twice, swap-slot refcounts consistent,
+// pathology and fault counters monotone, the virtual clock monotonic —
+// on top of hostmm's own structural Audit.
+//
+// Attach it before Machine.Run; afterwards call Final (or Err) and treat
+// a non-nil error as a failed run, replayable from the seed and the fault
+// plan spec.
+package audit
+
+import (
+	"fmt"
+
+	"vswapsim/internal/hostmm"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// monotoneCounters never decrease over a run; the auditor snapshots and
+// re-checks them on every pass.
+var monotoneCounters = []string{
+	metrics.SilentSwapWrites,
+	metrics.StaleSwapReads,
+	metrics.FalseSwapReads,
+	metrics.HostSwapOuts,
+	metrics.HostSwapIns,
+	metrics.HostMajorFaults,
+	metrics.HostMinorFaults,
+	metrics.DiskOps,
+	metrics.FaultDiskReadErrors,
+	metrics.FaultDiskWriteErrors,
+	metrics.FaultDiskDelays,
+	metrics.FaultDiskRetries,
+	metrics.FaultDiskExhausted,
+	metrics.FaultSwapInTransient,
+	metrics.FaultSwapInRetries,
+	metrics.FaultSwapInPoisoned,
+	metrics.FaultSlotRefusals,
+	metrics.FaultBalloonRefusals,
+	metrics.FaultEmuStarved,
+	metrics.FaultMapperPoisoned,
+}
+
+// Auditor checks a machine's global invariants, strided across simulated
+// events. It records the first violation and stops checking (the state is
+// already corrupt; later failures would only obscure the origin).
+type Auditor struct {
+	m       *hyper.Machine
+	every   int
+	tick    int
+	checks  int64
+	lastNow sim.Time
+	mono    map[string]int64
+	err     error
+}
+
+// Attach hooks an auditor into the machine's event loop, running one full
+// Check every `every` events (minimum 1). A full check is O(pages), so
+// large simulations should stride; tiny unit tests can afford every=1.
+// Attach before Machine.Run; read Err or Final after.
+func Attach(m *hyper.Machine, every int) *Auditor {
+	if every < 1 {
+		every = 1
+	}
+	a := &Auditor{m: m, every: every, mono: make(map[string]int64)}
+	m.Env.SetAfterEvent(a.step)
+	return a
+}
+
+// Detach removes the event hook.
+func (a *Auditor) Detach() { a.m.Env.SetAfterEvent(nil) }
+
+// Checks reports how many full audits ran.
+func (a *Auditor) Checks() int64 { return a.checks }
+
+// Err returns the first recorded violation, or nil.
+func (a *Auditor) Err() error { return a.err }
+
+// Final runs one last check (so short runs audit at least once) and
+// returns the first violation seen over the whole run, or nil.
+func (a *Auditor) Final() error {
+	if a.err == nil {
+		if err := a.Check(); err != nil {
+			a.err = fmt.Errorf("at %v: %w", a.m.Env.Now(), err)
+		}
+	}
+	return a.err
+}
+
+func (a *Auditor) step() {
+	if a.err != nil {
+		return
+	}
+	a.tick++
+	if a.tick < a.every {
+		return
+	}
+	a.tick = 0
+	if err := a.Check(); err != nil {
+		a.err = fmt.Errorf("at %v: %w", a.m.Env.Now(), err)
+	}
+}
+
+// Check runs one full audit pass and returns the first violation found.
+func (a *Auditor) Check() error {
+	a.checks++
+
+	// 1. Clock monotonic.
+	now := a.m.Env.Now()
+	if now < a.lastNow {
+		return fmt.Errorf("clock went backwards: %v after %v", now, a.lastNow)
+	}
+	a.lastNow = now
+
+	// 2. Host-MM structural invariants (lists, charges, swap refcounts).
+	if err := a.m.MM.Audit(); err != nil {
+		return err
+	}
+
+	// 3. Cross-layer page invariants over every materialized page.
+	seen := make(map[*hostmm.Page]string)
+	var pageErr error
+	for _, vm := range a.m.VMs {
+		vm := vm
+		vm.EachPage(func(pg *hostmm.Page) {
+			if pageErr != nil {
+				return
+			}
+			where := fmt.Sprintf("%s/page%d", vm.Cfg.Name, pg.ID)
+			if prev, dup := seen[pg]; dup {
+				pageErr = fmt.Errorf("page mapped twice: %s and %s", prev, where)
+				return
+			}
+			seen[pg] = where
+			if pg.Owner != vm.CG {
+				pageErr = fmt.Errorf("%s: owned by cgroup %s, not %s", where, pg.Owner.Name, vm.CG.Name)
+				return
+			}
+			if pg.EPT && !pg.State.Resident() {
+				pageErr = fmt.Errorf("%s: EPT-mapped but %s", where, pg.State)
+				return
+			}
+			if pg.State == hostmm.SwappedOut {
+				if pg.SwapSlot < 0 {
+					pageErr = fmt.Errorf("%s: swapped out without a slot", where)
+					return
+				}
+				if a.m.MM.Swap.Owner(pg.SwapSlot) != pg {
+					pageErr = fmt.Errorf("%s: swapped out to slot %d owned by someone else", where, pg.SwapSlot)
+					return
+				}
+			}
+		})
+		if pageErr != nil {
+			return pageErr
+		}
+	}
+
+	// 4. Pathology and fault counters only move forward.
+	for _, name := range monotoneCounters {
+		v := a.m.Met.Get(name)
+		if v < a.mono[name] {
+			return fmt.Errorf("counter %s went backwards: %d after %d", name, v, a.mono[name])
+		}
+		a.mono[name] = v
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // canonical form
+	}{
+		{"", ""},
+		{";;;", ""},
+		{"disk-read-err:0.01", "disk-read-err:0.01"},
+		{" disk-read-err : 0.01 ", "disk-read-err:0.01"},
+		{"disk-lat:0.05", "disk-lat:0.05:2ms"},
+		{"disk-lat:0.05:500us", "disk-lat:0.05:500µs"},
+		{"disk-lat:0.05:2ms", "disk-lat:0.05:2ms"},
+		{"swapin-fail:1", "swapin-fail:1"},
+		{"swapin-fail:0", ""}, // zero-rate rules normalize away
+		{"map-poison:0.5;disk-read-err:0.25", "disk-read-err:0.25;map-poison:0.5"},
+		{
+			"balloon-refuse:0.1;slot-exhaust:0.2;emu-starve:0.3;disk-write-err:0.001",
+			"disk-write-err:0.001;slot-exhaust:0.2;balloon-refuse:0.1;emu-starve:0.3",
+		},
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("ParsePlan(%q).String() = %q, want %q", c.spec, got, c.want)
+		}
+		// Canonical form must be a fixed point.
+		p2, err := ParsePlan(p.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", p.String(), err)
+			continue
+		}
+		if p2 != p {
+			t.Errorf("reparse %q: plan not equal to original", p.String())
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"bogus:0.5",                     // unknown kind
+		"disk-read-err",                 // missing rate
+		"disk-read-err:0.5:2ms",         // duration on a kind that takes none
+		"disk-read-err:x",               // unparsable rate
+		"disk-read-err:-0.1",            // rate below range
+		"disk-read-err:1.5",             // rate above range
+		"disk-read-err:NaN",             // NaN rate
+		"disk-lat:0.5:x",                // unparsable duration
+		"disk-lat:0.5:-2ms",             // negative duration
+		"disk-lat:0.5:2h",               // duration above maxExtra
+		"disk-lat:0.5:1ms:1ms",          // too many fields
+		"swapin-fail:0.1;swapin-fail:1", // duplicate kind
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	p := MustParse("disk-lat:0.25:3ms;swapin-fail:0.5")
+	if p.Empty() {
+		t.Fatal("plan unexpectedly empty")
+	}
+	if got := p.Rate(DiskLatency); got != 0.25 {
+		t.Errorf("Rate(DiskLatency) = %v, want 0.25", got)
+	}
+	if got := p.Extra(DiskLatency); got != 3*sim.Millisecond {
+		t.Errorf("Extra(DiskLatency) = %v, want 3ms", got)
+	}
+	if got := p.Rate(SwapInFail); got != 0.5 {
+		t.Errorf("Rate(SwapInFail) = %v, want 0.5", got)
+	}
+	if got := p.Rate(DiskReadErr); got != 0 {
+		t.Errorf("Rate(DiskReadErr) = %v, want 0", got)
+	}
+	if (Plan{}).String() != "" {
+		t.Errorf("zero plan String() = %q, want empty", Plan{}.String())
+	}
+	if !(Plan{}).Empty() {
+		t.Error("zero plan not Empty")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		back, ok := kindByName(name)
+		if !ok || back != k {
+			t.Errorf("kindByName(%q) = %v, %v; want %v, true", name, back, ok, k)
+		}
+	}
+	if got := numKinds.String(); !strings.HasPrefix(got, "Kind(") {
+		t.Errorf("out-of-range Kind.String() = %q", got)
+	}
+}
+
+func TestRandomPlan(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := RandomPlan(seed)
+		if p.Empty() {
+			t.Fatalf("RandomPlan(%d) is empty", seed)
+		}
+		// Every generated plan must survive the spec round trip, or the
+		// property tests' replay instructions would lie.
+		p2, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("RandomPlan(%d) = %q does not reparse: %v", seed, p.String(), err)
+		}
+		if p2 != p {
+			t.Fatalf("RandomPlan(%d) = %q changes under round trip", seed, p.String())
+		}
+		if p != RandomPlan(seed) {
+			t.Fatalf("RandomPlan(%d) not deterministic", seed)
+		}
+	}
+}
+
+func TestNewEmptyPlanIsNil(t *testing.T) {
+	if in := New(Plan{}, 1, metrics.NewSet()); in != nil {
+		t.Fatal("New with empty plan should return nil")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.DiskError(false) || in.DiskError(true) {
+		t.Error("nil injector reported a disk error")
+	}
+	if in.DiskDelay() != 0 {
+		t.Error("nil injector reported a disk delay")
+	}
+	if in.SwapInFailure() || in.SlotRefused() || in.BalloonRefused() ||
+		in.EmulationStarved() || in.MapperPoisoned() {
+		t.Error("nil injector fired")
+	}
+	if !in.Plan().Empty() {
+		t.Error("nil injector has a non-empty plan")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := MustParse("disk-read-err:0.3;disk-lat:0.2:1ms;swapin-fail:0.4")
+	draw := func() []bool {
+		in := New(plan, 12345, metrics.NewSet())
+		var seq []bool
+		for i := 0; i < 500; i++ {
+			switch i % 3 {
+			case 0:
+				seq = append(seq, in.DiskError(false))
+			case 1:
+				seq = append(seq, in.DiskDelay() != 0)
+			case 2:
+				seq = append(seq, in.SwapInFailure())
+			}
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+	}
+}
+
+func TestInjectorCountsFirings(t *testing.T) {
+	met := metrics.NewSet()
+	in := New(MustParse("swapin-fail:1;balloon-refuse:1"), 7, met)
+	for i := 0; i < 10; i++ {
+		if !in.SwapInFailure() {
+			t.Fatal("rate-1 rule did not fire")
+		}
+	}
+	if !in.BalloonRefused() {
+		t.Fatal("rate-1 rule did not fire")
+	}
+	if got := met.Get(metrics.FaultSwapInTransient); got != 10 {
+		t.Errorf("%s = %d, want 10", metrics.FaultSwapInTransient, got)
+	}
+	if got := met.Get(metrics.FaultBalloonRefusals); got != 1 {
+		t.Errorf("%s = %d, want 1", metrics.FaultBalloonRefusals, got)
+	}
+	// Kinds not in the plan never fire and never count.
+	if in.MapperPoisoned() {
+		t.Error("inactive kind fired")
+	}
+	if got := met.Get(metrics.FaultMapperPoisoned); got != 0 {
+		t.Errorf("%s = %d, want 0", metrics.FaultMapperPoisoned, got)
+	}
+}
+
+// TestInactiveKindsDrawNothing pins the stream-independence property: the
+// firing schedule of one kind must not shift when an unrelated kind is
+// queried in between, because inactive kinds consume no randomness.
+func TestInactiveKindsDrawNothing(t *testing.T) {
+	plan := MustParse("swapin-fail:0.5")
+	seq := func(interleave bool) []bool {
+		in := New(plan, 99, metrics.NewSet())
+		var out []bool
+		for i := 0; i < 200; i++ {
+			if interleave {
+				in.MapperPoisoned() // inactive: must not advance the stream
+				in.DiskError(true)
+			}
+			out = append(out, in.SwapInFailure())
+		}
+		return out
+	}
+	plain, mixed := seq(false), seq(true)
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("draw %d shifted when inactive kinds were queried", i)
+		}
+	}
+}
+
+func TestDiskDelayReturnsExtra(t *testing.T) {
+	in := New(MustParse("disk-lat:1:750us"), 3, metrics.NewSet())
+	for i := 0; i < 5; i++ {
+		if got := in.DiskDelay(); got != 750*sim.Microsecond {
+			t.Fatalf("DiskDelay() = %v, want 750µs", got)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package fault
+
+import "testing"
+
+// FuzzFaultPlanParse checks the parser's core contract on arbitrary input:
+// it never panics, and every accepted spec round-trips exactly — the
+// canonical String reparses to the identical Plan and is a fixed point.
+// This is what makes "replay with -faults '<spec>'" in an audit failure
+// message trustworthy.
+func FuzzFaultPlanParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"disk-read-err:0.01",
+		"disk-write-err:0.005;disk-lat:0.05:2ms",
+		"disk-lat:0.5",
+		"swapin-fail:0.02;slot-exhaust:0.01",
+		"balloon-refuse:0.1;emu-starve:0.3;map-poison:1",
+		"swapin-fail:0",
+		" disk-read-err : 0.25 ; disk-lat:1:500us",
+		"disk-lat:0.5:2h",
+		"swapin-fail:0.1;swapin-fail:1",
+		"bogus:0.5",
+		"disk-read-err:NaN",
+		"disk-read-err:1e-300",
+		":::;;;:",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		canon := p.String()
+		p2, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not reparse: %v", canon, spec, err)
+		}
+		if p2 != p {
+			t.Fatalf("round trip changed plan: %q -> %q -> %q", spec, canon, p2.String())
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, p2.String())
+		}
+		if p.Empty() != (canon == "") {
+			t.Fatalf("Empty()=%v but canonical form is %q", p.Empty(), canon)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
 )
 
@@ -15,6 +16,10 @@ const balloonBatch = 64
 
 // perPagePinCost is the CPU cost of pinning/unpinning one balloon page.
 const perPagePinCost = 500 * sim.Nanosecond
+
+// balloonRetryBackoff is how long the driver waits after an injected
+// inflate/deflate refusal before retrying.
+const balloonRetryBackoff = 50 * sim.Millisecond
 
 // SetBalloonTarget asks the driver to inflate/deflate toward n pages.
 func (os *OS) SetBalloonTarget(n int) {
@@ -45,6 +50,12 @@ func (os *OS) balloonLoop(p *sim.Proc) {
 		cur := len(os.balloonGFNs)
 		switch {
 		case cur < os.balloonGoal:
+			if os.Inj.BalloonRefused() {
+				// Injected hypercall refusal: back off and retry.
+				os.Met.Histogram(metrics.HistFaultBackoff).Observe(balloonRetryBackoff)
+				p.Sleep(balloonRetryBackoff)
+				continue
+			}
 			n := os.balloonGoal - cur
 			if n > balloonBatch {
 				n = balloonBatch
@@ -68,6 +79,11 @@ func (os *OS) balloonLoop(p *sim.Proc) {
 			t.FlushCPU()
 			os.Plat.BalloonRelease(batch)
 		case cur > os.balloonGoal:
+			if os.Inj.BalloonRefused() {
+				os.Met.Histogram(metrics.HistFaultBackoff).Observe(balloonRetryBackoff)
+				p.Sleep(balloonRetryBackoff)
+				continue
+			}
 			n := cur - os.balloonGoal
 			if n > balloonBatch {
 				n = balloonBatch

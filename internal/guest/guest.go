@@ -12,6 +12,7 @@
 package guest
 
 import (
+	"vswapsim/internal/fault"
 	"vswapsim/internal/mem"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
@@ -195,6 +196,10 @@ type OS struct {
 
 	// Trace, when non-nil, records OOM and balloon events.
 	Trace *trace.Ring
+
+	// Inj, when non-nil, injects balloon inflate/deflate refusals (set by
+	// the hypervisor alongside Trace; nil = injection off).
+	Inj *fault.Injector
 
 	VCPU *sim.Resource
 

@@ -10,8 +10,14 @@ import "fmt"
 //     (anon lists hold ResidentAnon, file lists hold ResidentFile).
 //  2. Per-cgroup resident counts equal the frames implied by the lists.
 //  3. The frame pool usage equals the sum of cgroup resident counts.
-//  4. Every allocated swap slot is owned by a page that records it.
+//  4. Every allocated swap slot is owned by a page that records it, the
+//     owner's state can legally hold a slot (SwappedOut, ResidentAnon in
+//     the swap cache, or Emulated), and the owner-map size matches the
+//     allocator's in-use count.
 //  5. No page is charged twice (appears on two lists).
+//  6. Every clean resident-anon page has a valid swap-cache backing: a
+//     page without one holds the only copy of its content, so it must be
+//     dirty or eviction would silently lose it.
 func (m *Manager) Audit() error {
 	totalResident := 0
 	for _, cg := range m.cgroups {
@@ -28,6 +34,10 @@ func (m *Manager) Audit() error {
 				}
 				if pg.Owner != cg {
 					return fmt.Errorf("%s: page %d owned by %s", l.name, pg.ID, pg.Owner.Name)
+				}
+				if pg.State == ResidentAnon && !pg.Dirty && !m.swapCacheValid(pg) {
+					return fmt.Errorf("%s: clean anon page %d has no swap-cache backing (slot %d)",
+						l.name, pg.ID, pg.SwapSlot)
 				}
 			}
 			if n != l.size {
@@ -61,12 +71,21 @@ func (m *Manager) Audit() error {
 	if totalResident != m.Pool.Used() {
 		return fmt.Errorf("pool uses %d frames but cgroups charge %d", m.Pool.Used(), totalResident)
 	}
+	if len(m.Swap.owner) != m.Swap.inUse {
+		return fmt.Errorf("swap allocator counts %d slots in use but owner map has %d",
+			m.Swap.inUse, len(m.Swap.owner))
+	}
 	for slot, pg := range m.Swap.owner {
 		if m.Swap.free[slot] {
 			return fmt.Errorf("slot %d owned by page %d but marked free", slot, pg.ID)
 		}
 		if pg.SwapSlot != slot {
 			return fmt.Errorf("slot %d owner page %d records slot %d", slot, pg.ID, pg.SwapSlot)
+		}
+		switch pg.State {
+		case SwappedOut, ResidentAnon, Emulated:
+		default:
+			return fmt.Errorf("slot %d owned by page %d in state %s", slot, pg.ID, pg.State)
 		}
 	}
 	return nil

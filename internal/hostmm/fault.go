@@ -9,6 +9,14 @@ import (
 	"vswapsim/internal/trace"
 )
 
+// Injected swap-in failure retry policy: bounded exponential backoff,
+// re-reading the faulting slot each attempt; exhaustion poisons the slot
+// (see SwapIn).
+const (
+	swapInMaxRetries   = 4
+	swapInRetryBackoff = 250 * sim.Microsecond
+)
+
 // NewPage creates the host-side descriptor for one page of cg (lazily, on
 // first reference). ID is the GFN for guest pages.
 func (m *Manager) NewPage(cg *Cgroup, id int) *Page {
@@ -158,6 +166,30 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	}
 	m.Dev.WaitFor(p, last)
 
+	// Injected transient read failures: retry the faulting slot with
+	// exponential backoff. If retries run out the slot's content is
+	// suspect — the page is instantiated anyway but poisoned, degrading it
+	// to plain dirty swap below (the slot is dropped, forcing a fresh
+	// write on the next eviction).
+	poisoned := false
+	if m.Inj != nil {
+		for attempt := 0; pg.State == SwappedOut && m.Inj.SwapInFailure(); attempt++ {
+			if attempt == swapInMaxRetries {
+				poisoned = true
+				m.Met.Inc(metrics.FaultSwapInPoisoned)
+				break
+			}
+			backoff := swapInRetryBackoff << attempt
+			m.Met.Inc(metrics.FaultSwapInRetries)
+			m.Met.Histogram(metrics.HistFaultBackoff).Observe(backoff)
+			p.Sleep(backoff)
+			done := m.Dev.Submit(disk.Read, m.Swap.Phys(pg.SwapSlot), 1)
+			m.Met.Inc(metrics.SwapReadOps)
+			m.Met.Add(metrics.SwapReadSectors, disk.SectorsPerBlock)
+			m.Dev.WaitFor(p, done)
+		}
+	}
+
 	// The guest may have superseded the page while the read was in flight
 	// (balloon take after an OOM teardown, mmap-over): nothing to map.
 	if pg.State != SwappedOut {
@@ -182,6 +214,13 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	m.Met.Inc(metrics.HostSwapIns)
 	m.Trace.Add(m.Env.Now(), trace.Fault, "swap-in cg=%s gfn=%d slot=%d cluster=%d",
 		pg.Owner.Name, pg.ID, pg.SwapSlot, len(ioSlots))
+	if poisoned {
+		// Degrade to plain swap: drop the poisoned slot so nothing ever
+		// trusts its content again; the page must be rewritten to evict.
+		m.Swap.Free(pg.SwapSlot)
+		pg.SwapSlot = -1
+		pg.Dirty = true
+	}
 
 	var pinned []*Page
 	for _, s := range ioSlots {

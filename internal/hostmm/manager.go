@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vswapsim/internal/disk"
+	"vswapsim/internal/fault"
 	"vswapsim/internal/mem"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
@@ -119,6 +120,10 @@ type Manager struct {
 
 	// Trace, when non-nil, records fault/reclaim events for debugging.
 	Trace *trace.Ring
+
+	// Inj, when non-nil, injects transient swap-in failures and swap-slot
+	// allocation refusals (set by the hypervisor; nil = injection off).
+	Inj *fault.Injector
 
 	cgroups []*Cgroup
 
@@ -423,9 +428,22 @@ func (m *Manager) scanList(list *pageList, cg *Cgroup, target int, scanned *int,
 			m.Met.Inc(metrics.HostPagesReclaimed)
 			freed++
 		case ResidentAnon:
+			if !pg.Dirty && !m.swapCacheValid(pg) {
+				// The swap-cache association was lost (e.g. the slot was
+				// poisoned after repeated transient read failures): this
+				// frame is the only copy of the content, so eviction must
+				// write it out rather than trust a stale or missing slot.
+				// Without this guard the page would go SwappedOut with no
+				// backing read ever reaching it — silent content loss.
+				pg.Dirty = true
+			}
 			if pg.Dirty {
 				slot := pg.SwapSlot
 				if slot < 0 {
+					if m.Inj.SlotRefused() {
+						list.rotate(pg) // injected allocator refusal
+						continue
+					}
 					slot = m.Swap.Alloc(pg)
 					if slot < 0 {
 						list.rotate(pg) // swap full; skip
@@ -472,6 +490,14 @@ func (m *Manager) submitSwapWrites(slots []int64) {
 		m.Met.Inc(metrics.SwapWriteOps)
 		start = i
 	}
+}
+
+// swapCacheValid reports whether a clean resident-anon page still has a
+// valid swap-cache backing: an allocated slot recording it as owner.
+// Every code path that creates a clean ResidentAnon page leaves one in
+// place; losing it (slot poisoning) demotes the page to plain dirty swap.
+func (m *Manager) swapCacheValid(pg *Page) bool {
+	return pg.SwapSlot >= 0 && m.Swap.Owner(pg.SwapSlot) == pg
 }
 
 // ReclaimForTest exposes reclaim for white-box tests.

@@ -7,6 +7,7 @@ package hyper
 
 import (
 	"vswapsim/internal/disk"
+	"vswapsim/internal/fault"
 	"vswapsim/internal/hostmm"
 	"vswapsim/internal/mem"
 	"vswapsim/internal/metrics"
@@ -26,6 +27,10 @@ type MachineConfig struct {
 	Disk disk.LatencyModel
 	// Host configures the host memory manager.
 	Host hostmm.Config
+	// Faults schedules deterministic fault injection across the disk,
+	// host-MM, VSwapper and balloon layers (see internal/fault). The zero
+	// Plan disables injection entirely, at zero cost.
+	Faults fault.Plan
 }
 
 // Machine is one physical host.
@@ -37,6 +42,9 @@ type Machine struct {
 	Pool   *mem.FramePool
 	MM     *hostmm.Manager
 	VMs    []*VM
+	// Inj is the machine's fault injector (nil when MachineConfig.Faults
+	// is empty).
+	Inj *fault.Injector
 
 	stopKswapd func()
 	trace      *trace.Ring
@@ -61,6 +69,11 @@ func NewMachine(cfg MachineConfig) *Machine {
 	swapRegion := layout.Reserve("host-swap", cfg.HostSwapPages)
 	pool := mem.NewFramePool(cfg.HostMemPages)
 	mm := hostmm.NewManager(env, met, dev, pool, hostmm.NewSwapArea(swapRegion), cfg.Host)
+	// The injector draws from its own derived stream, never from env's, so
+	// an empty plan leaves the simulation bit-identical to no injection.
+	inj := fault.New(cfg.Faults, sim.DeriveSeed(cfg.Seed, "fault-injector"), met)
+	dev.SetInjector(inj)
+	mm.Inj = inj
 	m := &Machine{
 		Env:    env,
 		Met:    met,
@@ -68,6 +81,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		Layout: layout,
 		Pool:   pool,
 		MM:     mm,
+		Inj:    inj,
 		seed:   cfg.Seed,
 	}
 	m.stopKswapd = mm.StartKswapd(hostmm.DefaultKswapdConfig())

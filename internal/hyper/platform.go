@@ -170,7 +170,14 @@ func (vm *VM) DiskRead(p *sim.Proc, gfns []int, start int64) {
 		pages[i] = vm.page(g)
 	}
 
-	if vm.Mapper != nil && !vm.Cfg.UnalignedGuestIO {
+	useMapper := vm.Mapper != nil && !vm.Cfg.UnalignedGuestIO
+	if useMapper && vm.M.Inj.MapperPoisoned() {
+		// Injected swap-cache poisoning: mapping establishment cannot be
+		// trusted for this request, so degrade it to the baseline copying
+		// flow below (plain swap semantics).
+		useMapper = false
+	}
+	if useMapper {
 		// VSwapper flow: readahead the blocks (one contiguous physical
 		// read), then mmap them over the targets. Old page content is
 		// superseded without being faulted in.

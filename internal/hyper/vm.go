@@ -148,6 +148,7 @@ func (m *Machine) NewVM(cfg VMConfig) *VM {
 	fs := guest.NewFileSystem(cfg.DiskBlocks, cfg.GuestSwapBlocks)
 	vm.OS = guest.NewOS(m.Env, m.Met, vm, fs, gcfg)
 	vm.OS.Trace = m.trace // nil unless EnableTrace ran
+	vm.OS.Inj = m.Inj     // nil unless fault injection is on
 	m.VMs = append(m.VMs, vm)
 	return vm
 }
@@ -170,6 +171,20 @@ func (vm *VM) page(gfn int) *hostmm.Page {
 
 // PageForTest exposes host page state to white-box tests and experiments.
 func (vm *VM) PageForTest(gfn int) *hostmm.Page { return vm.page(gfn) }
+
+// EachPage calls f for every host page descriptor the VM has materialized:
+// guest frames (lazily created by GFN) and QEMU text pages. The
+// invariant-audit harness iterates these to check cross-layer properties.
+func (vm *VM) EachPage(f func(pg *hostmm.Page)) {
+	for _, pg := range vm.pages {
+		if pg != nil {
+			f(pg)
+		}
+	}
+	for _, pg := range vm.text {
+		f(pg)
+	}
+}
 
 // touchText models host/QEMU code execution: mostly the hot text set, but
 // every 16th access lands on a cold page of the full executable — rarely

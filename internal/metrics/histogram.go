@@ -29,6 +29,10 @@ const (
 	// HistPreventerLife is the lifetime of a Preventer emulation buffer,
 	// from the first trapped write to remap/merge completion.
 	HistPreventerLife = "hist.preventer.lifetime.ns"
+	// HistFaultBackoff records the backoff delays consumers insert while
+	// retrying injected faults (internal/fault); empty when injection is
+	// off.
+	HistFaultBackoff = "hist.fault.backoff.ns"
 )
 
 // histBuckets is the number of power-of-two buckets. Bucket i counts

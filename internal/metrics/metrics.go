@@ -74,6 +74,23 @@ const (
 	BalloonInflatePages = "balloon.inflate.pages"
 	BalloonDeflatePages = "balloon.deflate.pages"
 
+	// Fault injection (internal/fault). The fault.* counters split into
+	// injected events (what the plan fired) and recovery behavior (what the
+	// consumers did about it); all are zero — and absent from reports —
+	// when injection is off.
+	FaultDiskReadErrors  = "fault.disk.read.errors"
+	FaultDiskWriteErrors = "fault.disk.write.errors"
+	FaultDiskDelays      = "fault.disk.delays"
+	FaultDiskRetries     = "fault.disk.retries"
+	FaultDiskExhausted   = "fault.disk.retry.exhausted"
+	FaultSwapInTransient = "fault.swapin.transient"
+	FaultSwapInRetries   = "fault.swapin.retries"
+	FaultSwapInPoisoned  = "fault.swapin.poisoned"
+	FaultSlotRefusals    = "fault.swap.slot.refusals"
+	FaultBalloonRefusals = "fault.balloon.refusals"
+	FaultEmuStarved      = "fault.preventer.starved"
+	FaultMapperPoisoned  = "fault.mapper.poisoned"
+
 	// Per-phase simulated-time accounting (all virtual nanoseconds). These
 	// answer "where does simulated time go": guest CPU execution, host
 	// fault-handling CPU, blocking waits for the disk, and reclaim scans.

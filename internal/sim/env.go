@@ -46,7 +46,15 @@ type Env struct {
 	liveProcs int
 	blocked   int // procs waiting on a Signal (not a timer)
 	procPanic interface{}
+
+	// afterEvent, when set, runs after every completed event callback. The
+	// invariant-audit harness hooks here in test mode; it must not mutate
+	// simulation state.
+	afterEvent func()
 }
+
+// SetAfterEvent installs (or, with nil, removes) the post-event hook.
+func (e *Env) SetAfterEvent(fn func()) { e.afterEvent = fn }
 
 // NewEnv returns an environment with the clock at zero and the PRNG seeded
 // with seed. The same seed always produces the same run.
@@ -100,6 +108,9 @@ func (e *Env) RunUntil(deadline Time) Time {
 		}
 		e.now = next.at
 		next.fn()
+		if e.afterEvent != nil {
+			e.afterEvent()
+		}
 	}
 	if e.liveProcs > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events at %v", e.liveProcs, e.now))
