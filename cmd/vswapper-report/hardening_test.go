@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vswapsim/internal/experiment"
+)
+
+// TestRunUsageErrors: every malformed flag value exits with the usage
+// code and a one-line hint on stderr.
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad faults spec", []string{"-faults", "bogus:0.5"}},
+		{"negative auditevery", []string{"-auditevery", "-1"}},
+		{"negative celltimeout", []string{"-celltimeout", "-1s"}},
+		{"malformed maxevents", []string{"-maxevents", "-5"}},
+		{"negative tracering", []string{"-tracering", "-1"}},
+		{"bad scale", []string{"-scale", "17"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != exitUsage {
+				t.Fatalf("run(%v) = %d, want %d", c.args, code, exitUsage)
+			}
+			if msg := stderr.String(); !strings.Contains(msg, "usage") && !strings.Contains(msg, "Usage") {
+				t.Fatalf("stderr has no usage hint:\n%s", msg)
+			}
+		})
+	}
+}
+
+// TestRunHardenedReportWritesDiagBundles: a tiny event budget kills every
+// cell of a single-figure report run; the process exits non-zero, the
+// JSON file carries the failure records, and -diagdir receives one
+// replayable bundle per failed cell.
+func TestRunHardenedReportWritesDiagBundles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	diagDir := filepath.Join(dir, "diag")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-only", "fig3", "-quick", "-scale", "0.125", "-seed", "7",
+		"-maxevents", "1000", "-json", jsonPath, "-diagdir", diagDir}
+	code := run(args, &stdout, &stderr)
+	if code != exitFailures {
+		t.Fatalf("exit = %d, want %d; stderr:\n%s", code, exitFailures, stderr.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc experiment.JSONDocument
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("JSON file invalid: %v", err)
+	}
+	if len(doc.Experiments) != 1 || len(doc.Experiments[0].Failures) == 0 {
+		t.Fatal("no failure records in the JSON document")
+	}
+	bundles, err := filepath.Glob(filepath.Join(diagDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != len(doc.Experiments[0].Failures) {
+		t.Fatalf("%d bundles for %d failures", len(bundles), len(doc.Experiments[0].Failures))
+	}
+	var b experiment.DiagBundle
+	raw, err := os.ReadFile(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("bundle invalid: %v", err)
+	}
+	if !strings.Contains(b.Replay, "vswapper-report") || !strings.Contains(b.Replay, "-maxevents 1000") {
+		t.Fatalf("bundle replay command incomplete: %q", b.Replay)
+	}
+	// The text report still rendered, with the failed cells called out.
+	if out := stdout.String(); !strings.Contains(out, "FAILED") {
+		t.Fatalf("text output does not flag failures:\n%s", out)
+	}
+}

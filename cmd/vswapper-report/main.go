@@ -6,36 +6,59 @@
 // Experiments fan out on a bounded worker pool (-parallel, default
 // GOMAXPROCS); the report content is bit-identical to a serial run and is
 // always printed in registry order.
+//
+// Run hardening: -maxevents and -celltimeout arm a per-cell watchdog;
+// killed or panicking cells degrade to structured failure records in the
+// report, -diagdir writes one replayable crash-diagnostics bundle per
+// failed cell, and SIGINT cancels in-flight cells while still emitting a
+// valid partial report marked "incomplete".
+//
+// Exit codes: 0 success, 1 failed cells (or runtime error), 2 usage,
+// 3 incomplete (canceled by SIGINT or a fatal wall-clock breach).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
 )
 
+// Exit codes.
+const (
+	exitOK         = 0
+	exitFailures   = 1
+	exitUsage      = 2
+	exitIncomplete = 3
+)
+
 // cliConfig holds the parsed command line.
 type cliConfig struct {
-	scale      float64
-	seed       uint64
-	quick      bool
-	out        string
-	only       string
-	csvDir     string
-	parallel   int
-	jsonOut    string
-	traceRing  int
-	faults     fault.Plan
-	auditEvery int
+	scale       float64
+	seed        uint64
+	quick       bool
+	out         string
+	only        string
+	csvDir      string
+	parallel    int
+	jsonOut     string
+	traceRing   int
+	faults      fault.Plan
+	auditEvery  int
+	maxEvents   uint64
+	cellTimeout time.Duration
+	diagDir     string
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -59,6 +82,12 @@ func parseArgs(args []string) (cliConfig, error) {
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
+	fs.Uint64Var(&c.maxEvents, "maxevents", 0,
+		"per-cell simulated-event budget; a breach kills only that cell, deterministically (0 = unlimited)")
+	fs.DurationVar(&c.cellTimeout, "celltimeout", 0,
+		"per-cell wall-clock budget (e.g. 30s); a breach is fatal and cancels the rest of the run (0 = unlimited)")
+	fs.StringVar(&c.diagDir, "diagdir", "",
+		"write one replayable crash-diagnostics bundle (JSON) per failed cell into this directory")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -73,6 +102,9 @@ func parseArgs(args []string) (cliConfig, error) {
 	}
 	if c.auditEvery < 0 {
 		return c, fmt.Errorf("invalid -auditevery %d: must be >= 0", c.auditEvery)
+	}
+	if c.cellTimeout < 0 {
+		return c, fmt.Errorf("invalid -celltimeout %v: must be >= 0", c.cellTimeout)
 	}
 	var err error
 	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
@@ -98,50 +130,58 @@ func selectExperiments(only string) ([]experiment.Experiment, error) {
 	return out, nil
 }
 
-func main() {
-	c, err := parseArgs(os.Args[1:])
+func run(args []string, stdoutW, stderr io.Writer) int {
+	c, err := parseArgs(args)
 	if err != nil {
 		if err != flag.ErrHelp {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(stderr, "vswapper-report: %v (run 'vswapper-report -h' for usage)\n", err)
 		}
-		os.Exit(2)
+		return exitUsage
 	}
 	exps, err := selectExperiments(c.only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailures
 	}
 	if c.csvDir != "" {
 		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 	}
 
 	// With -json -, stdout carries the JSON document; the text report then
 	// only goes to the -o file (or nowhere).
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdoutW
 	if c.jsonOut == "-" {
 		w = io.Discard
 	}
 	if c.out != "" {
 		f, err := os.Create(c.out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 		defer f.Close()
 		if c.jsonOut == "-" {
 			w = f
 		} else {
-			w = io.MultiWriter(os.Stdout, f)
+			w = io.MultiWriter(stdoutW, f)
 		}
 	}
+
+	// SIGINT/SIGTERM cancel in-flight cells via the watchdog poll; the
+	// partial report is still emitted, marked incomplete. stop doubles as
+	// the fatal-breach cancel hook.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
 		Faults: c.faults, AuditEvery: c.auditEvery,
+		MaxEvents: c.maxEvents, CellTimeout: c.cellTimeout,
+		Ctx: ctx, CancelRun: stop,
 	}
 	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v parallel=%d)\n\n",
 		c.seed, c.scale, c.quick, c.parallel)
@@ -149,38 +189,72 @@ func main() {
 		fmt.Fprintf(w, "fault injection active: %s (auditevery=%d)\n\n", c.faults, c.auditEvery)
 	}
 	start := time.Now()
+	totalFails := 0
 	results := experiment.RunAll(exps, opts, func(r experiment.RunResult) {
 		fmt.Fprint(w, r.Report.String())
 		fmt.Fprintf(w, "(%s generated in %v)\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+		if n := len(r.Failures); n > 0 {
+			totalFails += n
+			fmt.Fprintf(w, "%s: %d cell(s) FAILED:\n", r.Experiment.ID, n)
+			for _, f := range r.Failures {
+				fmt.Fprintf(w, "  [%s] %s: %s\n", f.Kind, f.Label, f.Message)
+			}
+			fmt.Fprintln(w)
+		}
 		if c.csvDir != "" {
 			for i, tab := range r.Report.Tables {
 				name := filepath.Join(c.csvDir, fmt.Sprintf("%s_%d.csv", r.Experiment.ID, i))
 				if err := os.WriteFile(name, []byte(tab.CSV()), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, err)
+					fmt.Fprintln(stderr, err)
 				}
 			}
 		}
+		if c.diagDir != "" && len(r.Failures) > 0 {
+			paths, err := experiment.WriteDiagBundles(c.diagDir, "vswapper-report", r.Experiment.ID, opts, r.Failures)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+			} else {
+				fmt.Fprintf(stderr, "wrote %d crash-diagnostics bundle(s) to %s\n", len(paths), c.diagDir)
+			}
+		}
 	})
+	incomplete := ctx.Err() != nil
 	fmt.Fprintf(w, "total wall time %v (-parallel %d)\n",
 		time.Since(start).Round(time.Millisecond), c.parallel)
+	if incomplete {
+		fmt.Fprintln(w, "\nRUN INCOMPLETE: canceled before every cell finished")
+	}
 
 	if c.jsonOut != "" {
 		reps := make([]*experiment.JSONReport, len(results))
 		for i, r := range results {
-			reps[i] = experiment.BuildJSON(r.Report, r.Runs)
+			reps[i] = experiment.BuildJSON(r.Report, r.Runs, r.Failures)
 		}
 		doc := experiment.BuildJSONDocument(opts, reps)
+		doc.Incomplete = incomplete
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 		data = append(data, '\n')
 		if c.jsonOut == "-" {
-			os.Stdout.Write(data)
+			stdoutW.Write(data)
 		} else if err := os.WriteFile(c.jsonOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 	}
+
+	switch {
+	case incomplete:
+		return exitIncomplete
+	case totalFails > 0:
+		return exitFailures
+	}
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

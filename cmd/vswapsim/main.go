@@ -6,6 +6,7 @@
 //	vswapsim -list
 //	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick] [-parallel N]
 //	         [-json] [-tracering N] [-faults spec] [-auditevery N]
+//	         [-maxevents N] [-celltimeout d] [-diagdir dir]
 //	         [-cpuprofile f] [-memprofile f]
 //
 // With -json the experiment's machine-readable report is printed instead
@@ -13,35 +14,60 @@
 // machine (counters, latency histograms, per-phase time accounting, and —
 // with -tracering — the trace tail). The JSON bytes are bit-identical
 // between serial (-parallel 1) and parallel runs.
+//
+// Run hardening: -maxevents and -celltimeout arm a per-cell watchdog that
+// kills runaway or livelocked cells; each kill (or panic) degrades to a
+// structured failure record in the report, and -diagdir writes one
+// replayable crash-diagnostics bundle per failed cell. SIGINT cancels
+// in-flight cells and still emits a valid partial report marked
+// "incomplete".
+//
+// Exit codes: 0 success, 1 failed cells (or runtime error), 2 usage,
+// 3 incomplete (canceled by SIGINT or a fatal wall-clock breach).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
 )
 
+// Exit codes.
+const (
+	exitOK         = 0
+	exitFailures   = 1
+	exitUsage      = 2
+	exitIncomplete = 3
+)
+
 // cliConfig holds the parsed command line.
 type cliConfig struct {
-	list       bool
-	run        string
-	scale      float64
-	seed       uint64
-	quick      bool
-	parallel   int
-	jsonOut    bool
-	traceRing  int
-	faults     fault.Plan
-	auditEvery int
-	cpuProfile string
-	memProfile string
+	list        bool
+	run         string
+	scale       float64
+	seed        uint64
+	quick       bool
+	parallel    int
+	jsonOut     bool
+	traceRing   int
+	faults      fault.Plan
+	auditEvery  int
+	maxEvents   uint64
+	cellTimeout time.Duration
+	diagDir     string
+	cpuProfile  string
+	memProfile  string
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -64,6 +90,12 @@ func parseArgs(args []string) (cliConfig, error) {
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
+	fs.Uint64Var(&c.maxEvents, "maxevents", 0,
+		"per-cell simulated-event budget; a breach kills only that cell, deterministically (0 = unlimited)")
+	fs.DurationVar(&c.cellTimeout, "celltimeout", 0,
+		"per-cell wall-clock budget (e.g. 30s); a breach is fatal and cancels the rest of the run (0 = unlimited)")
+	fs.StringVar(&c.diagDir, "diagdir", "",
+		"write one replayable crash-diagnostics bundle (JSON) per failed cell into this directory")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +113,9 @@ func parseArgs(args []string) (cliConfig, error) {
 	if c.auditEvery < 0 {
 		return c, fmt.Errorf("invalid -auditevery %d: must be >= 0", c.auditEvery)
 	}
+	if c.cellTimeout < 0 {
+		return c, fmt.Errorf("invalid -celltimeout %v: must be >= 0", c.cellTimeout)
+	}
 	var err error
 	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
 		return c, fmt.Errorf("invalid -faults: %v", err)
@@ -88,81 +123,131 @@ func parseArgs(args []string) (cliConfig, error) {
 	return c, nil
 }
 
-func main() {
-	c, err := parseArgs(os.Args[1:])
+// printFailures renders the failure records of a run as text, including
+// the trace-ring tail each record captured at the kill site.
+func printFailures(w io.Writer, fails []experiment.FailureRecord) {
+	fmt.Fprintf(w, "\n%d cell(s) FAILED:\n", len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(w, "  [%s] %s\n    %s\n", f.Kind, f.Label, f.Message)
+		if n := len(f.Trace); n > 0 {
+			for _, ev := range f.Trace[max(0, n-4):] {
+				fmt.Fprintf(w, "    trace %8dns %-9s %s\n", ev.AtNS, ev.Kind, ev.Msg)
+			}
+		}
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	c, err := parseArgs(args)
 	if err != nil {
 		if err != flag.ErrHelp {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(stderr, "vswapsim: %v (run 'vswapsim -h' for usage)\n", err)
 		}
-		os.Exit(2)
+		return exitUsage
 	}
 
 	if c.list || c.run == "" {
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range experiment.Registry {
-			fmt.Printf("  %-9s %-45s (%s)\n", e.ID, e.Title, e.PaperNote)
+			fmt.Fprintf(stdout, "  %-9s %-45s (%s)\n", e.ID, e.Title, e.PaperNote)
 		}
 		if c.run == "" && !c.list {
-			os.Exit(2)
+			return exitUsage
 		}
-		return
+		return exitOK
 	}
 
 	e, err := experiment.ByID(c.run)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitFailures
 	}
 
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 		defer pprof.StopCPUProfile()
 	}
+
+	// SIGINT/SIGTERM cancel in-flight cells via the watchdog poll; the
+	// partial report is still emitted, marked incomplete. stop doubles as
+	// the fatal-breach cancel hook.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
 		Faults: c.faults, AuditEvery: c.auditEvery,
+		MaxEvents: c.maxEvents, CellTimeout: c.cellTimeout,
+		Ctx: ctx, CancelRun: stop,
 	}
-	fetch := opts.EnableRunLog()
 	start := time.Now()
-	rep := e.Run(opts)
+	r := experiment.RunAll([]experiment.Experiment{e}, opts, nil)[0]
 	elapsed := time.Since(start)
+	incomplete := ctx.Err() != nil
 
 	if c.jsonOut {
 		doc := experiment.BuildJSONDocument(opts,
-			[]*experiment.JSONReport{experiment.BuildJSON(rep, fetch())})
-		enc := json.NewEncoder(os.Stdout)
+			[]*experiment.JSONReport{experiment.BuildJSON(r.Report, r.Runs, r.Failures)})
+		doc.Incomplete = incomplete
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 	} else {
-		fmt.Print(rep.String())
-		fmt.Printf("(generated in %v wall time, -parallel %d)\n", elapsed.Round(time.Millisecond), c.parallel)
+		fmt.Fprint(stdout, r.Report.String())
+		fmt.Fprintf(stdout, "(generated in %v wall time, -parallel %d)\n", elapsed.Round(time.Millisecond), c.parallel)
+		if len(r.Failures) > 0 {
+			printFailures(stdout, r.Failures)
+		}
+		if incomplete {
+			fmt.Fprintln(stdout, "\nRUN INCOMPLETE: canceled before every cell finished")
+		}
+	}
+
+	if c.diagDir != "" && len(r.Failures) > 0 {
+		paths, err := experiment.WriteDiagBundles(c.diagDir, "vswapsim", e.ID, opts, r.Failures)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitFailures
+		}
+		fmt.Fprintf(stderr, "wrote %d crash-diagnostics bundle(s) to %s\n", len(paths), c.diagDir)
 	}
 
 	if c.memProfile != "" {
 		f, err := os.Create(c.memProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return exitFailures
 		}
 	}
+
+	switch {
+	case incomplete:
+		return exitIncomplete
+	case len(r.Failures) > 0:
+		return exitFailures
+	}
+	return exitOK
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

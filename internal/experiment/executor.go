@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -68,14 +70,46 @@ func (o Options) forEach(n int, job func(i int)) {
 	wg.Wait()
 }
 
-// RunResult couples an experiment's report with its wall-clock cost and
-// the per-machine run records the experiment produced (in deterministic
-// order; see json.go).
+// RunResult couples an experiment's report with its wall-clock cost, the
+// per-machine run records the experiment produced, and the failure
+// records of any cells that were killed, panicked, or were canceled
+// (all in deterministic order; see json.go and failure.go).
 type RunResult struct {
 	Experiment Experiment
 	Report     *Report
 	Elapsed    time.Duration
 	Runs       []RunRecord
+	Failures   []FailureRecord
+}
+
+// runExperimentShielded runs one experiment, converting a panic that
+// escapes the per-cell shields (table assembly, experiment-level glue)
+// into a failed report plus a failure record, so sibling experiments in
+// the sweep still complete.
+func runExperimentShielded(e Experiment, o Options) (rep *Report) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rec := &FailureRecord{
+			Label:    "experiment/" + e.ID,
+			Seed:     o.Seed,
+			BaseSeed: o.Seed,
+			Faults:   o.Faults.String(),
+			Kind:     FailPanic,
+			Message:  sanitizeMessage(fmt.Sprint(r)),
+			Stack:    sanitizeStack(debug.Stack()),
+		}
+		o.faillog.add(rec)
+		rep = &Report{
+			ID:        e.ID,
+			Title:     e.Title,
+			PaperNote: e.PaperNote,
+			Notes:     []string{"experiment aborted: " + rec.Message},
+		}
+	}()
+	return e.Run(o)
 }
 
 // RunAll executes the given experiments under one shared worker pool and
@@ -92,12 +126,16 @@ func RunAll(exps []Experiment, o Options, emit func(RunResult)) []RunResult {
 	}
 	run := func(i int) RunResult {
 		start := time.Now()
-		// Each experiment collects into a private run log so records from
-		// concurrently executing experiments cannot interleave.
+		// Each experiment collects into private run/failure logs so records
+		// from concurrently executing experiments cannot interleave.
 		oi := o
 		fetch := oi.EnableRunLog()
-		rep := exps[i].Run(oi)
-		return RunResult{Experiment: exps[i], Report: rep, Elapsed: time.Since(start), Runs: fetch()}
+		fetchFails := oi.EnableFailureLog()
+		rep := runExperimentShielded(exps[i], oi)
+		return RunResult{
+			Experiment: exps[i], Report: rep, Elapsed: time.Since(start),
+			Runs: fetch(), Failures: fetchFails(),
+		}
 	}
 	if o.Parallel <= 1 || len(exps) <= 1 {
 		for i := range exps {

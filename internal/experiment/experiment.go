@@ -6,11 +6,13 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"vswapsim/internal/fault"
 	"vswapsim/internal/fault/audit"
@@ -88,6 +90,24 @@ type Options struct {
 	// accordingly). A violation panics with the machine seed and the fault
 	// spec so the failure replays exactly.
 	AuditEvery int
+	// MaxEvents, when positive, bounds every cell's simulated event
+	// count. A breach kills only that cell — deterministically, at the
+	// same event in serial and parallel sweeps — and records a
+	// FailureRecord; sibling cells continue.
+	MaxEvents uint64
+	// CellTimeout, when positive, bounds every cell's wall-clock runtime.
+	// A breach is fatal: the cell is killed and the remainder of the run
+	// is canceled (real time is being lost), still emitting a partial
+	// report marked incomplete. Unlike MaxEvents it is not deterministic.
+	CellTimeout time.Duration
+	// Ctx, when non-nil, cancels the whole invocation: in-flight cells
+	// are aborted by their watchdogs at the next poll, queued cells are
+	// skipped, and every victim is recorded as a "canceled" failure.
+	Ctx context.Context
+	// CancelRun, when non-nil, is invoked on a fatal breach (wall-clock
+	// timeout) to cancel the remainder of the run; wire it to the cancel
+	// function of Ctx.
+	CancelRun context.CancelFunc
 
 	// lim is the run-slot pool shared by everything derived from this
 	// Options value; normalized creates it once per top-level invocation.
@@ -95,6 +115,9 @@ type Options struct {
 	// runlog, when armed via EnableRunLog, collects one RunRecord per
 	// simulated machine (see json.go).
 	runlog *runLog
+	// faillog, when armed via EnableFailureLog, collects one
+	// FailureRecord per failed cell (see failure.go).
+	faillog *failureLog
 }
 
 func (o Options) normalized() Options {
@@ -111,6 +134,26 @@ func (o Options) normalized() Options {
 		o.lim = newLimiter(o.Parallel)
 	}
 	return o
+}
+
+// canceled reports whether the invocation's context has been canceled.
+func (o Options) canceled() bool { return o.Ctx != nil && o.Ctx.Err() != nil }
+
+// cancelRun cancels the remainder of the invocation, if cancellable.
+func (o Options) cancelRun() {
+	if o.CancelRun != nil {
+		o.CancelRun()
+	}
+}
+
+// cellBudget assembles the per-cell watchdog budget from the options.
+func (o Options) cellBudget() sim.Budget {
+	b := sim.Budget{MaxEvents: o.MaxEvents, WallTimeout: o.CellTimeout}
+	if o.Ctx != nil {
+		ctx := o.Ctx
+		b.Canceled = func() bool { return ctx.Err() != nil }
+	}
+	return b
 }
 
 // mb scales a paper-specified megabyte figure.
@@ -287,16 +330,21 @@ type runCfg struct {
 	hostTweak       func(*hyper.MachineConfig)
 }
 
-// runOut is a completed run.
+// runOut is a completed run. failed is non-nil when the cell was killed
+// by the watchdog, panicked, or was canceled; res and met are then
+// zero-valued and the FailureRecord carries the diagnostics.
 type runOut struct {
-	res workload.Result
-	met map[string]int64 // counter deltas over the measured body
-	m   *hyper.Machine
-	vm  *hyper.VM
+	res    workload.Result
+	met    map[string]int64 // counter deltas over the measured body
+	m      *hyper.Machine
+	vm     *hyper.VM
+	failed *FailureRecord
 }
 
 // runSingle executes one controlled-memory scenario: boot, optional static
-// balloon, optional warm-up, then the measured body.
+// balloon, optional warm-up, then the measured body — all under the
+// run-hardening shield, so a watchdog kill or a panic in this cell
+// degrades to a FailureRecord instead of aborting the sweep.
 func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) runOut {
 	o := rc.opts.normalized()
 	release := o.acquire()
@@ -314,86 +362,103 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 	if hostMB == 0 {
 		hostMB = 4 * rc.guestMB
 	}
-	mc := hyper.MachineConfig{
-		Seed:         rc.seed,
-		HostMemPages: o.pages(hostMB),
-		Faults:       o.Faults,
-	}
-	if rc.hostTweak != nil {
-		rc.hostTweak(&mc)
-	}
-	m := hyper.NewMachine(mc)
-	checkAudit := o.attachAudit(m, rc.seed)
-	if o.TraceRing > 0 {
-		m.EnableTrace(o.TraceRing)
-	}
-	gcfg := guest.DefaultConfig(o.pages(rc.guestMB))
-	if rc.guestTweak != nil {
-		rc.guestTweak(&gcfg)
-	}
-	vmc := hyper.VMConfig{
-		Name:       "vm0",
-		MemPages:   o.pages(rc.guestMB),
-		LimitPages: o.pages(rc.actualMB),
-		VCPUs:      rc.vcpus,
-		DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
-		Mapper:     rc.scheme.mapper(),
-		Preventer:  rc.scheme.preventer(),
-		GuestAPF:   true,
-		Guest:      &gcfg,
-	}
-	if rc.actualMB >= rc.guestMB {
-		vmc.LimitPages = 0 // uncapped
-	}
-	if rc.vmTweak != nil {
-		rc.vmTweak(&vmc)
-	}
-	vm := m.NewVM(vmc)
+	label := fmt.Sprintf("%s/guest%dMB/actual%dMB/host%dMB/vcpus%d/seed%016x",
+		rc.scheme, rc.guestMB, rc.actualMB, hostMB, rc.vcpus, rc.seed)
 
-	out := runOut{m: m, vm: vm}
-	m.Env.Go("driver", func(p *sim.Proc) {
-		vm.Boot(p)
-		if rc.scheme.balloon() && vmc.LimitPages > 0 {
-			target := vmc.MemPages - vmc.LimitPages + o.pages(rc.balloonMarginMB)
-			vm.OS.SetBalloonTarget(target)
-			for vm.OS.BalloonPages() < vm.OS.BalloonTarget() {
-				p.Sleep(100 * sim.Millisecond)
+	var out runOut
+	st := &cellState{}
+	out.failed = o.runShielded(label, rc.seed, st, func() {
+		mc := hyper.MachineConfig{
+			Seed:         rc.seed,
+			HostMemPages: o.pages(hostMB),
+			Faults:       o.Faults,
+			Budget:       o.cellBudget(),
+		}
+		if rc.hostTweak != nil {
+			rc.hostTweak(&mc)
+		}
+		m := hyper.NewMachine(mc)
+		st.m = m
+		out.m = m
+		var checkAudit func()
+		st.aud, checkAudit = o.attachAuditor(m, rc.seed)
+		if o.TraceRing > 0 {
+			m.EnableTrace(o.TraceRing)
+		}
+		gcfg := guest.DefaultConfig(o.pages(rc.guestMB))
+		if rc.guestTweak != nil {
+			rc.guestTweak(&gcfg)
+		}
+		vmc := hyper.VMConfig{
+			Name:       "vm0",
+			MemPages:   o.pages(rc.guestMB),
+			LimitPages: o.pages(rc.actualMB),
+			VCPUs:      rc.vcpus,
+			DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
+			Mapper:     rc.scheme.mapper(),
+			Preventer:  rc.scheme.preventer(),
+			GuestAPF:   true,
+			Guest:      &gcfg,
+		}
+		if rc.actualMB >= rc.guestMB {
+			vmc.LimitPages = 0 // uncapped
+		}
+		if rc.vmTweak != nil {
+			rc.vmTweak(&vmc)
+		}
+		vm := m.NewVM(vmc)
+		out.vm = vm
+
+		m.Env.Go("driver", func(p *sim.Proc) {
+			vm.Boot(p)
+			if rc.scheme.balloon() && vmc.LimitPages > 0 {
+				target := vmc.MemPages - vmc.LimitPages + o.pages(rc.balloonMarginMB)
+				vm.OS.SetBalloonTarget(target)
+				for vm.OS.BalloonPages() < vm.OS.BalloonTarget() {
+					p.Sleep(100 * sim.Millisecond)
+				}
 			}
-		}
-		if rc.warmup {
-			workload.Warmup(vm, 2048).Wait(p)
-		}
-		snap := m.Met.Snapshot()
-		job := body(vm, p)
-		out.res = job.Wait(p)
-		out.met = m.Met.Diff(snap)
-		m.Shutdown()
+			if rc.warmup {
+				workload.Warmup(vm, 2048).Wait(p)
+			}
+			snap := m.Met.Snapshot()
+			job := body(vm, p)
+			out.res = job.Wait(p)
+			out.met = m.Met.Diff(snap)
+			m.Shutdown()
+		})
+		m.Run()
+		checkAudit()
 	})
-	m.Run()
-	checkAudit()
-	if o.runlog != nil {
-		o.runlog.add(fmt.Sprintf("%s/guest%dMB/actual%dMB/host%dMB/vcpus%d/seed%016x",
-			rc.scheme, rc.guestMB, rc.actualMB, hostMB, rc.vcpus, rc.seed), m.Report())
+	if out.failed == nil && o.runlog != nil {
+		o.runlog.add(label, out.m.Report())
 	}
 	return out
 }
 
-// attachAudit hooks the invariant auditor into the machine when
+// attachAuditor hooks the invariant auditor into the machine when
 // o.AuditEvery is positive. Call the returned function after Machine.Run:
 // it panics with a replayable message (machine seed + fault spec) on the
-// first invariant violation the run produced.
-func (o Options) attachAudit(m *hyper.Machine, seed uint64) func() {
+// first invariant violation the run produced. The auditor itself is
+// returned so failure capture can embed its recent check history.
+func (o Options) attachAuditor(m *hyper.Machine, seed uint64) (*audit.Auditor, func()) {
 	if o.AuditEvery <= 0 {
-		return func() {}
+		return nil, func() {}
 	}
 	a := audit.Attach(m, o.AuditEvery)
-	return func() {
+	return a, func() {
 		if err := a.Final(); err != nil {
 			panic(fmt.Sprintf(
 				"experiment: invariant violation (replay with seed=%d faults=%q; machine seed %#x): %v",
 				o.Seed, o.Faults.String(), seed, err))
 		}
 	}
+}
+
+// attachAudit is attachAuditor without the auditor handle.
+func (o Options) attachAudit(m *hyper.Machine, seed uint64) func() {
+	_, check := o.attachAuditor(m, seed)
+	return check
 }
 
 // runtimeOrKilled renders a result cell, flagging OOM kills the way the

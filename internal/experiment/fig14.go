@@ -13,78 +13,91 @@ import (
 // runDynamic executes the §5.2 dynamic scenario: n guests (2 GB, 2 VCPUs)
 // on an 8 GB host run Metis word-count, started 10 seconds apart. Balloon
 // schemes are managed by the MOM-like controller. It returns the mean
-// guest runtime and how many guests were OOM-killed. seed, when nonzero,
-// overrides o.Seed so fan-out cells get independent derived streams.
-func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int) {
+// guest runtime, how many guests were OOM-killed, and the failure record
+// when the cell was killed or panicked (runtime and kills are then
+// zero). seed, when nonzero, overrides o.Seed so fan-out cells get
+// independent derived streams.
+func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int, *FailureRecord) {
 	o = o.normalized()
 	release := o.acquire()
 	defer release()
 	if seed == 0 {
 		seed = o.Seed
 	}
-	m := hyper.NewMachine(hyper.MachineConfig{
-		Seed:         seed,
-		HostMemPages: o.pages(8 * 1024),
-		Faults:       o.Faults,
-	})
-	checkAudit := o.attachAudit(m, seed)
-	if o.TraceRing > 0 {
-		m.EnableTrace(o.TraceRing)
-	}
-	vms := make([]*hyper.VM, n)
-	for i := range vms {
-		vms[i] = m.NewVM(hyper.VMConfig{
-			Name:       fmt.Sprintf("vm%d", i),
-			MemPages:   o.pages(2 * 1024),
-			VCPUs:      2,
-			DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
-			Mapper:     scheme.mapper(),
-			Preventer:  scheme.preventer(),
-			GuestAPF:   true,
-		})
-	}
-	var mgr *balloon.Manager
-	if scheme.balloon() {
-		mgr = balloon.New(m, balloon.Config{})
-	}
+	label := fmt.Sprintf("dynamic/%s/guests%d/seed%016x", scheme, n, seed)
 
 	var total sim.Duration
 	killed := 0
-	m.Env.Go("driver", func(p *sim.Proc) {
-		for _, vm := range vms {
-			vm.Boot(p)
+	st := &cellState{}
+	failed := o.runShielded(label, seed, st, func() {
+		m := hyper.NewMachine(hyper.MachineConfig{
+			Seed:         seed,
+			HostMemPages: o.pages(8 * 1024),
+			Faults:       o.Faults,
+			Budget:       o.cellBudget(),
+		})
+		st.m = m
+		var checkAudit func()
+		st.aud, checkAudit = o.attachAuditor(m, seed)
+		if o.TraceRing > 0 {
+			m.EnableTrace(o.TraceRing)
 		}
-		if mgr != nil {
-			mgr.Start()
-		}
-		jobs := make([]*workload.Job, n)
-		for i, vm := range vms {
-			jobs[i] = workload.Metis(vm, workload.MetisConfig{
-				InputMB: o.mb(300),
-				TableMB: o.mb(1024),
+		vms := make([]*hyper.VM, n)
+		for i := range vms {
+			vms[i] = m.NewVM(hyper.VMConfig{
+				Name:       fmt.Sprintf("vm%d", i),
+				MemPages:   o.pages(2 * 1024),
+				VCPUs:      2,
+				DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
+				Mapper:     scheme.mapper(),
+				Preventer:  scheme.preventer(),
+				GuestAPF:   true,
 			})
-			if i < n-1 {
-				p.Sleep(10 * sim.Second)
+		}
+		var mgr *balloon.Manager
+		if scheme.balloon() {
+			mgr = balloon.New(m, balloon.Config{})
+		}
+
+		m.Env.Go("driver", func(p *sim.Proc) {
+			for _, vm := range vms {
+				vm.Boot(p)
 			}
-		}
-		for _, j := range jobs {
-			r := j.Wait(p)
-			total += r.Runtime()
-			if r.Killed {
-				killed++
+			if mgr != nil {
+				mgr.Start()
 			}
-		}
-		if mgr != nil {
-			mgr.Stop()
-		}
-		m.Shutdown()
+			jobs := make([]*workload.Job, n)
+			for i, vm := range vms {
+				jobs[i] = workload.Metis(vm, workload.MetisConfig{
+					InputMB: o.mb(300),
+					TableMB: o.mb(1024),
+				})
+				if i < n-1 {
+					p.Sleep(10 * sim.Second)
+				}
+			}
+			for _, j := range jobs {
+				r := j.Wait(p)
+				total += r.Runtime()
+				if r.Killed {
+					killed++
+				}
+			}
+			if mgr != nil {
+				mgr.Stop()
+			}
+			m.Shutdown()
+		})
+		m.Run()
+		checkAudit()
 	})
-	m.Run()
-	checkAudit()
-	if o.runlog != nil {
-		o.runlog.add(fmt.Sprintf("dynamic/%s/guests%d/seed%016x", scheme, n, seed), m.Report())
+	if failed != nil {
+		return 0, 0, failed
 	}
-	return total / sim.Duration(n), killed
+	if o.runlog != nil {
+		o.runlog.add(label, st.m.Report())
+	}
+	return total / sim.Duration(n), killed, nil
 }
 
 // dynamicSchemes is the Fig. 14 configuration set in plot order.
@@ -127,7 +140,11 @@ func dynamicCells(o Options, id string, counts []int, schemes []Scheme) []string
 	o.forEach(len(out), func(i int) {
 		n, s := counts[i/len(schemes)], schemes[i%len(schemes)]
 		seed := sim.DeriveSeed(o.Seed, id, s.String(), strconv.Itoa(n))
-		mean, killed := runDynamic(o, s, n, seed)
+		mean, killed, failed := runDynamic(o, s, n, seed)
+		if failed != nil {
+			out[i] = "failed"
+			return
+		}
 		cell := secs(mean)
 		if killed > 0 {
 			cell += fmt.Sprintf(" (%d killed)", killed)

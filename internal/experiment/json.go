@@ -118,11 +118,16 @@ type JSONReport struct {
 	Tables      []JSONTable `json:"tables"`
 	Notes       []string    `json:"notes,omitempty"`
 	Runs        []RunRecord `json:"runs,omitempty"`
+	// Failures lists the cells that were killed by the watchdog,
+	// panicked, or were canceled — in deterministic order, omitted
+	// entirely on a healthy run so such reports stay byte-identical to
+	// pre-hardening output.
+	Failures []FailureRecord `json:"failures,omitempty"`
 }
 
 // BuildJSON assembles the machine-readable report from a finished text
-// report and its collected run records.
-func BuildJSON(rep *Report, runs []RunRecord) *JSONReport {
+// report, its collected run records, and its failure records.
+func BuildJSON(rep *Report, runs []RunRecord, fails []FailureRecord) *JSONReport {
 	j := &JSONReport{
 		ID:          rep.ID,
 		Title:       rep.Title,
@@ -130,6 +135,7 @@ func BuildJSON(rep *Report, runs []RunRecord) *JSONReport {
 		Fingerprint: rep.Fingerprint(),
 		Notes:       rep.Notes,
 		Runs:        runs,
+		Failures:    fails,
 	}
 	for _, t := range rep.Tables {
 		j.Tables = append(j.Tables, JSONTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
@@ -146,7 +152,11 @@ type JSONDocument struct {
 	Parallel int     `json:"parallel"`
 	// Faults is the canonical fault-injection spec; omitted (keeping the
 	// document byte-identical to faultless builds) when no plan is set.
-	Faults      string        `json:"faults,omitempty"`
+	Faults string `json:"faults,omitempty"`
+	// Incomplete marks a partial document: the run was canceled (SIGINT
+	// or a fatal budget breach) before every experiment finished.
+	// Omitted on complete runs so their bytes are unchanged.
+	Incomplete  bool          `json:"incomplete,omitempty"`
 	Experiments []*JSONReport `json:"experiments"`
 }
 

@@ -20,7 +20,7 @@ func jsonBytes(t *testing.T, id string, o Options) []byte {
 	}
 	fetch := o.EnableRunLog()
 	rep := e.Run(o)
-	doc := BuildJSONDocument(o, []*JSONReport{BuildJSON(rep, fetch())})
+	doc := BuildJSONDocument(o, []*JSONReport{BuildJSON(rep, fetch(), nil)})
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -20,10 +20,13 @@ func sweepSizes(o Options) []int {
 	return []int{512, 448, 384, 320, 256, 192}
 }
 
-// sweepResult holds one (scheme, size) cell of a sweep.
+// sweepResult holds one (scheme, size) cell of a sweep. failed marks a
+// cell that was killed by the watchdog, panicked, or was canceled; its
+// res/met are zero-valued and sweepTable renders it as "failed".
 type sweepResult struct {
-	res workload.Result
-	met map[string]int64
+	res    workload.Result
+	met    map[string]int64
+	failed bool
 }
 
 // runSweep executes body across schemes × sizes, fanning the cells out on
@@ -52,7 +55,7 @@ func runSweep(o Options, id string, schemes []Scheme, sizes []int,
 			guestMB: 512, actualMB: c.size,
 			warmup: true,
 		}, body)
-		results[i] = sweepResult{res: r.res, met: r.met}
+		results[i] = sweepResult{res: r.res, met: r.met, failed: r.failed != nil}
 	})
 	out := make(map[Scheme]map[int]sweepResult)
 	for i, c := range cells {
@@ -74,7 +77,11 @@ func sweepTable(title string, schemes []Scheme, sizes []int,
 	for _, size := range sizes {
 		row := []string{fmt.Sprintf("%d", size)}
 		for _, s := range schemes {
-			row = append(row, cell(data[s][size]))
+			if r := data[s][size]; r.failed {
+				row = append(row, "failed")
+			} else {
+				row = append(row, cell(r))
+			}
 		}
 		tab.Add(row...)
 	}
@@ -85,9 +92,10 @@ func sweepTable(title string, schemes []Scheme, sizes []int,
 // memoized single-flight, so the two figures cost one sweep even when the
 // parallel executor generates them concurrently.
 type pbzipEntry struct {
-	once sync.Once
-	data map[Scheme]map[int]sweepResult
-	recs []RunRecord
+	once  sync.Once
+	data  map[Scheme]map[int]sweepResult
+	recs  []RunRecord
+	fails []FailureRecord
 }
 
 var (
@@ -115,7 +123,8 @@ func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 	// Fig. 5's axis extends to 128 MB, where the paper's guest OOM-kills
 	// pbzip2 under the static balloon ("below 240MB" on their axis).
 	sizes := append(sweepSizes(o), 128)
-	key := fmt.Sprintf("%d/%f/%v/%s/%d", o.Seed, o.Scale, o.Quick, o.Faults, o.AuditEvery)
+	key := fmt.Sprintf("%d/%f/%v/%s/%d/%d/%v",
+		o.Seed, o.Scale, o.Quick, o.Faults, o.AuditEvery, o.MaxEvents, o.CellTimeout)
 	pbzipMu.Lock()
 	e := pbzipCache[key]
 	if e == nil {
@@ -130,6 +139,7 @@ func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 		// the same runs, keeping parallel JSON output scheduling-independent.
 		oi := o
 		fetch := oi.EnableRunLog()
+		fetchFails := oi.EnableFailureLog()
 		e.data = runSweep(oi, "pbzip", schemes, sizes, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
 			return workload.Pbzip2(vm, workload.Pbzip2Config{
 				InputMB:      o.mb(448),
@@ -137,8 +147,10 @@ func pbzipSweep(o Options) (map[Scheme]map[int]sweepResult, []Scheme, []int) {
 			})
 		})
 		e.recs = fetch()
+		e.fails = fetchFails()
 	})
 	o.runlog.addRecords(e.recs)
+	o.faillog.addRecords(e.fails)
 	return e.data, schemes, sizes
 }
 

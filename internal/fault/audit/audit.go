@@ -55,7 +55,14 @@ type Auditor struct {
 	lastNow sim.Time
 	mono    map[string]int64
 	err     error
+	// hist is a bounded ring of one-line summaries of the most recent
+	// checks; crash-diagnostics bundles embed it so a killed or panicked
+	// run shows how far the invariants were last known to hold.
+	hist []string
 }
+
+// histCap bounds how many recent check summaries History retains.
+const histCap = 8
 
 // Attach hooks an auditor into the machine's event loop, running one full
 // Check every `every` events (minimum 1). A full check is O(pages), so
@@ -78,6 +85,24 @@ func (a *Auditor) Checks() int64 { return a.checks }
 
 // Err returns the first recorded violation, or nil.
 func (a *Auditor) Err() error { return a.err }
+
+// History returns one-line summaries of the most recent checks (oldest
+// first, at most histCap). The content is a pure function of the run, so
+// failure records embedding it stay byte-identical across serial and
+// parallel sweeps.
+func (a *Auditor) History() []string {
+	out := make([]string, len(a.hist))
+	copy(out, a.hist)
+	return out
+}
+
+func (a *Auditor) note(s string) {
+	if len(a.hist) == histCap {
+		copy(a.hist, a.hist[1:])
+		a.hist = a.hist[:histCap-1]
+	}
+	a.hist = append(a.hist, s)
+}
 
 // Final runs one last check (so short runs audit at least once) and
 // returns the first violation seen over the whole run, or nil.
@@ -106,6 +131,16 @@ func (a *Auditor) step() {
 
 // Check runs one full audit pass and returns the first violation found.
 func (a *Auditor) Check() error {
+	err := a.check()
+	if err == nil {
+		a.note(fmt.Sprintf("audit #%d at %v: ok", a.checks, a.m.Env.Now()))
+	} else {
+		a.note(fmt.Sprintf("audit #%d at %v: VIOLATION: %v", a.checks, a.m.Env.Now(), err))
+	}
+	return err
+}
+
+func (a *Auditor) check() error {
 	a.checks++
 
 	// 1. Clock monotonic.

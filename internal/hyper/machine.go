@@ -31,6 +31,11 @@ type MachineConfig struct {
 	// host-MM, VSwapper and balloon layers (see internal/fault). The zero
 	// Plan disables injection entirely, at zero cost.
 	Faults fault.Plan
+	// Budget installs the progress watchdog on the machine's event loop:
+	// event-count, stall (non-advancing simulated clock) and wall-clock
+	// bounds plus an external cancellation poll. The zero Budget disables
+	// it (see internal/sim watchdog.go).
+	Budget sim.Budget
 }
 
 // Machine is one physical host.
@@ -63,6 +68,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		cfg.Disk = disk.Constellation7200()
 	}
 	env := sim.NewEnv(cfg.Seed)
+	env.SetBudget(cfg.Budget)
 	met := metrics.NewSet()
 	dev := disk.NewDevice(env, cfg.Disk, met)
 	layout := disk.NewLayout(cfg.Disk.TotalBlocks)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"runtime/debug"
+	"time"
 )
 
 // event is a single scheduled callback.
@@ -51,6 +52,13 @@ type Env struct {
 	// invariant-audit harness hooks here in test mode; it must not mutate
 	// simulation state.
 	afterEvent func()
+
+	// budget is the progress watchdog installed by SetBudget; noteEvent
+	// enforces it on every dequeued event (see watchdog.go).
+	budget       Budget
+	eventCount   uint64
+	stall        uint64
+	wallDeadline time.Time
 }
 
 // SetAfterEvent installs (or, with nil, removes) the post-event hook.
@@ -106,7 +114,9 @@ func (e *Env) RunUntil(deadline Time) Time {
 		if next.at < e.now {
 			panic("sim: time went backwards")
 		}
+		advanced := next.at > e.now
 		e.now = next.at
+		e.noteEvent(advanced)
 		next.fn()
 		if e.afterEvent != nil {
 			e.afterEvent()

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the progress watchdog: per-run budgets on simulated event
+// count, simulated-clock progress, and wall-clock time, plus an external
+// cancellation poll. A breach aborts the run by panicking with a typed
+// *BudgetError, which the experiment layer's cell shield converts into a
+// structured failure record; the simulation state is not unwound, so the
+// caller can still snapshot counters and trace tails for diagnostics.
+//
+// Event-count and stall breaches are pure functions of the seed and the
+// model, so they abort at exactly the same event in serial and parallel
+// sweeps. Wall-clock breaches and cancellation are inherently
+// scheduling-dependent and are documented as such.
+
+// Budget bounds one simulation run. The zero Budget disables the
+// watchdog entirely, at the cost of one branch per event.
+type Budget struct {
+	// MaxEvents aborts the run after more than this many dequeued events
+	// (0 = unlimited). Deterministic.
+	MaxEvents uint64
+	// MaxStall aborts the run after this many consecutive events that do
+	// not advance the simulated clock — the signature of a livelocked
+	// model (e.g. a guest OOM-killer/balloon loop re-arming zero-delay
+	// work forever). 0 selects DefaultMaxStall whenever any other bound
+	// is set. Deterministic.
+	MaxStall uint64
+	// WallTimeout aborts the run when it has consumed this much
+	// wall-clock time (0 = unlimited; checked every wallStride events).
+	// Not deterministic: treat a breach as a kill, not a result.
+	WallTimeout time.Duration
+	// Canceled, when non-nil, is polled every wallStride events; a true
+	// return aborts the run with BreachCanceled. Wire it to a context.
+	Canceled func() bool
+}
+
+// Empty reports whether the budget disables the watchdog entirely.
+func (b Budget) Empty() bool {
+	return b.MaxEvents == 0 && b.MaxStall == 0 && b.WallTimeout == 0 && b.Canceled == nil
+}
+
+// DefaultMaxStall is the stall bound installed when a Budget enables the
+// watchdog without choosing one. No healthy model comes anywhere near
+// four million consecutive zero-advance events.
+const DefaultMaxStall = 1 << 22
+
+// wallStride is how often (in events) the watchdog pays for a wall-clock
+// read and a cancellation poll.
+const wallStride = 1024
+
+// Breach kinds carried by BudgetError.
+const (
+	// BreachMaxEvents: the event-count budget was exhausted.
+	BreachMaxEvents = "max-events"
+	// BreachStall: the simulated clock stopped advancing (livelock).
+	BreachStall = "stall"
+	// BreachWall: the wall-clock budget was exhausted.
+	BreachWall = "wall-timeout"
+	// BreachCanceled: the external cancellation poll fired.
+	BreachCanceled = "canceled"
+)
+
+// BudgetError is panicked out of Env.Run/RunUntil when the watchdog
+// fires. It records where the run was when it was killed.
+type BudgetError struct {
+	Kind   string // one of the Breach* constants
+	Events uint64 // events dequeued when the breach was detected
+	Now    Time   // simulated clock at the breach
+	Detail string
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: %s budget breached after %d events at %v: %s",
+		e.Kind, e.Events, e.Now, e.Detail)
+}
+
+// SetBudget installs (or, with the zero Budget, removes) the progress
+// watchdog. The wall-clock window starts now.
+func (e *Env) SetBudget(b Budget) {
+	if !b.Empty() && b.MaxStall == 0 {
+		b.MaxStall = DefaultMaxStall
+	}
+	e.budget = b
+	e.wallDeadline = time.Time{}
+	if b.WallTimeout > 0 {
+		e.wallDeadline = time.Now().Add(b.WallTimeout)
+	}
+}
+
+// EventCount reports how many events the environment has dequeued over
+// its lifetime (cumulative across RunUntil calls).
+func (e *Env) EventCount() uint64 { return e.eventCount }
+
+func (e *Env) breach(kind, detail string) {
+	panic(&BudgetError{Kind: kind, Events: e.eventCount, Now: e.now, Detail: detail})
+}
+
+// noteEvent is called by RunUntil for every dequeued event, before its
+// callback runs, so a breach aborts the run without executing the event
+// that crossed the line.
+func (e *Env) noteEvent(advanced bool) {
+	e.eventCount++
+	b := &e.budget
+	if b.Empty() {
+		return
+	}
+	if advanced {
+		e.stall = 0
+	} else {
+		e.stall++
+	}
+	if b.MaxEvents > 0 && e.eventCount > b.MaxEvents {
+		e.breach(BreachMaxEvents, fmt.Sprintf("event budget %d exhausted", b.MaxEvents))
+	}
+	if b.MaxStall > 0 && e.stall >= b.MaxStall {
+		e.breach(BreachStall, fmt.Sprintf(
+			"simulated clock stuck at %v for %d consecutive events (livelock)", e.now, e.stall))
+	}
+	if e.eventCount%wallStride == 0 {
+		if b.Canceled != nil && b.Canceled() {
+			e.breach(BreachCanceled, "run canceled")
+		}
+		if !e.wallDeadline.IsZero() && time.Now().After(e.wallDeadline) {
+			e.breach(BreachWall, fmt.Sprintf("wall-clock budget %v exhausted", b.WallTimeout))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// budgetErrFrom runs fn and returns the *BudgetError it panics with, or
+// nil if it returns normally. Any other panic is re-raised.
+func budgetErrFrom(t *testing.T, fn func()) (be *BudgetError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		if be, ok = r.(*BudgetError); !ok {
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// chain schedules a self-rescheduling event that advances the clock by
+// step each firing (step 0 = livelock).
+func chain(e *Env, step Duration) {
+	var fire func()
+	fire = func() { e.Schedule(step, fire) }
+	e.Schedule(step, fire)
+}
+
+func TestBudgetMaxEvents(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{MaxEvents: 100})
+	chain(e, Microsecond)
+	be := budgetErrFrom(t, func() { e.Run() })
+	if be == nil {
+		t.Fatal("expected a BudgetError, run completed")
+	}
+	if be.Kind != BreachMaxEvents {
+		t.Fatalf("kind = %q, want %q", be.Kind, BreachMaxEvents)
+	}
+	// The breach fires on the first event past the budget, before its
+	// callback runs — deterministically at event 101.
+	if be.Events != 101 {
+		t.Fatalf("breach at event %d, want 101", be.Events)
+	}
+	if e.EventCount() != 101 {
+		t.Fatalf("EventCount() = %d, want 101", e.EventCount())
+	}
+}
+
+func TestBudgetMaxEventsExactLimitPasses(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{MaxEvents: 100})
+	for i := 0; i < 100; i++ {
+		e.Schedule(Duration(i+1)*Microsecond, func() {})
+	}
+	if be := budgetErrFrom(t, func() { e.Run() }); be != nil {
+		t.Fatalf("run at exactly the budget breached: %v", be)
+	}
+	if e.EventCount() != 100 {
+		t.Fatalf("EventCount() = %d, want 100", e.EventCount())
+	}
+}
+
+func TestBudgetStall(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{MaxStall: 50})
+	chain(e, 0) // livelock: the clock never advances
+	be := budgetErrFrom(t, func() { e.Run() })
+	if be == nil {
+		t.Fatal("expected a stall BudgetError, run completed")
+	}
+	if be.Kind != BreachStall {
+		t.Fatalf("kind = %q, want %q", be.Kind, BreachStall)
+	}
+	if !strings.Contains(be.Detail, "livelock") {
+		t.Fatalf("detail %q does not mention livelock", be.Detail)
+	}
+}
+
+func TestBudgetStallResetsOnProgress(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{MaxStall: 10})
+	// Bursts of 5 zero-advance events separated by real progress must
+	// never trip a stall bound of 10.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n >= 100 {
+			return
+		}
+		if n%5 == 0 {
+			e.Schedule(Microsecond, tick)
+		} else {
+			e.Schedule(0, tick)
+		}
+	}
+	e.Schedule(Microsecond, tick)
+	if be := budgetErrFrom(t, func() { e.Run() }); be != nil {
+		t.Fatalf("progressing run tripped the stall bound: %v", be)
+	}
+}
+
+func TestBudgetDefaultMaxStallInstalled(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{MaxEvents: 1 << 30})
+	if e.budget.MaxStall != DefaultMaxStall {
+		t.Fatalf("MaxStall = %d, want DefaultMaxStall (%d)", e.budget.MaxStall, DefaultMaxStall)
+	}
+	// The zero budget must not get a stall bound: it disables the watchdog.
+	e2 := NewEnv(1)
+	e2.SetBudget(Budget{})
+	if !e2.budget.Empty() {
+		t.Fatal("zero budget should stay empty")
+	}
+}
+
+func TestBudgetWallTimeout(t *testing.T) {
+	e := NewEnv(1)
+	e.SetBudget(Budget{WallTimeout: time.Millisecond})
+	chain(e, Microsecond)
+	deadline := time.Now().Add(5 * time.Second)
+	var be *BudgetError
+	for be == nil && time.Now().Before(deadline) {
+		be = budgetErrFrom(t, func() { e.RunUntil(e.Now() + Time(Second)) })
+	}
+	if be == nil {
+		t.Fatal("wall-clock budget never fired")
+	}
+	if be.Kind != BreachWall {
+		t.Fatalf("kind = %q, want %q", be.Kind, BreachWall)
+	}
+}
+
+func TestBudgetCanceled(t *testing.T) {
+	e := NewEnv(1)
+	canceled := false
+	e.SetBudget(Budget{Canceled: func() bool { return canceled }})
+	chain(e, Microsecond)
+	// Not canceled: runs to the deadline.
+	if be := budgetErrFrom(t, func() { e.RunUntil(Time(100 * Microsecond)) }); be != nil {
+		t.Fatalf("uncanceled run breached: %v", be)
+	}
+	canceled = true
+	be := budgetErrFrom(t, func() { e.RunUntil(Time(Second)) })
+	if be == nil {
+		t.Fatal("cancellation never fired")
+	}
+	if be.Kind != BreachCanceled {
+		t.Fatalf("kind = %q, want %q", be.Kind, BreachCanceled)
+	}
+}
+
+func TestEmptyBudgetIsNoop(t *testing.T) {
+	e := NewEnv(1)
+	// A zero-advance burst longer than DefaultMaxStall: any armed stall
+	// bound would kill it, the empty budget must not.
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n < DefaultMaxStall+10 {
+			e.Schedule(0, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if be := budgetErrFrom(t, func() { e.Run() }); be != nil {
+		t.Fatalf("empty budget fired: %v", be)
+	}
+	if e.EventCount() == 0 {
+		t.Fatal("EventCount() not tracked without a budget")
+	}
+}
+
+func TestBudgetErrorMessage(t *testing.T) {
+	be := &BudgetError{Kind: BreachMaxEvents, Events: 7, Now: Time(3 * Second), Detail: "d"}
+	msg := be.Error()
+	for _, want := range []string{"max-events", "7 events", "d"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
