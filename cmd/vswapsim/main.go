@@ -1,13 +1,24 @@
-// Command vswapsim runs one of the paper's experiments and prints its
-// tables.
+// Command vswapsim runs one of the paper's experiments — hand-coded
+// registry entries or declarative YAML scenarios — and prints its tables.
 //
 // Usage:
 //
 //	vswapsim -list
-//	vswapsim -run fig3 [-scale 1.0] [-seed 42] [-quick] [-parallel N]
-//	         [-json] [-tracering N] [-faults spec] [-auditevery N]
-//	         [-maxevents N] [-celltimeout d] [-diagdir dir]
-//	         [-cpuprofile f] [-memprofile f]
+//	vswapsim -run <id> [flags]
+//	vswapsim run <scenario.yaml> [flags]
+//	vswapsim validate <scenario.yaml>...
+//
+// Flags (shared by -run and the run subcommand): -scale, -seed, -quick,
+// -parallel, -json, -tracering, -faults, -auditevery, -maxevents,
+// -celltimeout, -diagdir, -cpuprofile, -memprofile. Run `vswapsim -h`
+// for the full descriptions.
+//
+// `vswapsim run scenarios/fig3.yaml` executes a declarative scenario
+// (see internal/scenario and EXPERIMENTS.md for the schema) through the
+// same executor as the hand-coded experiments: a scenario mirroring a
+// registry figure produces a byte-identical report. `vswapsim validate`
+// parses and validates scenario files without running them, printing
+// file:line:col positioned errors.
 //
 // With -json the experiment's machine-readable report is printed instead
 // of the text tables: tables and notes plus one run record per simulated
@@ -22,8 +33,9 @@
 // in-flight cells and still emits a valid partial report marked
 // "incomplete".
 //
-// Exit codes: 0 success, 1 failed cells (or runtime error), 2 usage,
-// 3 incomplete (canceled by SIGINT or a fatal wall-clock breach).
+// Exit codes: 0 success, 1 failed cells or failed scenario assertions (or
+// runtime error), 2 usage, 3 incomplete (canceled by SIGINT or a fatal
+// wall-clock breach).
 package main
 
 import (
@@ -36,11 +48,13 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
+	"vswapsim/internal/scenario"
 )
 
 // Exit codes.
@@ -50,6 +64,17 @@ const (
 	exitUsage      = 2
 	exitIncomplete = 3
 )
+
+// usageHeader precedes the flag listing in -h output; the usage test
+// asserts it stays in sync with the actual command forms.
+const usageHeader = `Usage:
+  vswapsim -list
+  vswapsim -run <id> [flags]
+  vswapsim run <scenario.yaml> [flags]
+  vswapsim validate <scenario.yaml>...
+
+Flags:
+`
 
 // cliConfig holds the parsed command line.
 type cliConfig struct {
@@ -70,11 +95,10 @@ type cliConfig struct {
 	memProfile  string
 }
 
-// parseArgs parses args (without the program name). Parse errors are
-// reported on stderr by the FlagSet itself.
-func parseArgs(args []string) (cliConfig, error) {
-	fs := flag.NewFlagSet("vswapsim", flag.ContinueOnError)
-	var c cliConfig
+// newFlagSet registers every vswapsim flag on a fresh FlagSet. faultSpec
+// is returned separately because fault plans parse after flag.Parse.
+func newFlagSet(c *cliConfig) (fs *flag.FlagSet, faultSpec *string) {
+	fs = flag.NewFlagSet("vswapsim", flag.ContinueOnError)
 	fs.BoolVar(&c.list, "list", false, "list available experiments")
 	fs.StringVar(&c.run, "run", "", "experiment id to run (e.g. fig3)")
 	fs.Float64Var(&c.scale, "scale", 1.0, "size scale factor (1.0 = paper-sized)")
@@ -86,7 +110,7 @@ func parseArgs(args []string) (cliConfig, error) {
 		"emit the machine-readable report (tables + per-run counters/histograms/phases) as JSON")
 	fs.IntVar(&c.traceRing, "tracering", 0,
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
-	faultSpec := fs.String("faults", "",
+	faultSpec = fs.String("faults", "",
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
@@ -98,6 +122,18 @@ func parseArgs(args []string) (cliConfig, error) {
 		"write one replayable crash-diagnostics bundle (JSON) per failed cell into this directory")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usageHeader)
+		fs.PrintDefaults()
+	}
+	return fs, faultSpec
+}
+
+// parseArgs parses args (without the program name). Parse errors are
+// reported on stderr by the FlagSet itself.
+func parseArgs(args []string) (cliConfig, error) {
+	var c cliConfig
+	fs, faultSpec := newFlagSet(&c)
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -138,6 +174,14 @@ func printFailures(w io.Writer, fails []experiment.FailureRecord) {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenarioCmd(args[1:], stdout, stderr)
+		case "validate":
+			return validateCmd(args[1:], stdout, stderr)
+		}
+	}
 	c, err := parseArgs(args)
 	if err != nil {
 		if err != flag.ErrHelp {
@@ -151,6 +195,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, e := range experiment.Registry {
 			fmt.Fprintf(stdout, "  %-9s %-45s (%s)\n", e.ID, e.Title, e.PaperNote)
 		}
+		fmt.Fprintln(stdout, "\ndeclarative scenarios run with: vswapsim run <scenario.yaml> (see scenarios/)")
 		if c.run == "" && !c.list {
 			return exitUsage
 		}
@@ -162,7 +207,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return exitFailures
 	}
+	return executeExperiment(e, "", c, stdout, stderr)
+}
 
+// runScenarioCmd implements `vswapsim run <scenario.yaml> [flags]`.
+func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(stderr, "vswapsim run: missing scenario path (usage: vswapsim run <scenario.yaml> [flags])")
+		return exitUsage
+	}
+	path := args[0]
+	c, err := parseArgs(args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(stderr, "vswapsim run: %v\n", err)
+		}
+		return exitUsage
+	}
+	if c.list || c.run != "" {
+		fmt.Fprintln(stderr, "vswapsim run: -list/-run cannot be combined with a scenario file")
+		return exitUsage
+	}
+	sc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "vswapsim run: %v\n", err)
+		return exitUsage
+	}
+	// Surface the scenario's own fault/audit configuration in the emitted
+	// document and diag bundles; an explicit CLI -faults keeps priority
+	// (and overrides the scenario's fault config entirely, including
+	// inject_faults timeline events).
+	if c.faults.Empty() {
+		c.faults = sc.Faults
+	}
+	if c.auditEvery == 0 {
+		c.auditEvery = sc.AuditEvery
+	}
+	return executeExperiment(experiment.FromScenario(sc), path, c, stdout, stderr)
+}
+
+// validateCmd implements `vswapsim validate <scenario.yaml>...`.
+func validateCmd(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "vswapsim validate: no scenario files given (usage: vswapsim validate <scenario.yaml>...)")
+		return exitUsage
+	}
+	bad := 0
+	for _, path := range args {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "INVALID %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok %s (%s, %s mode, %d schemes)\n", path, sc.Name, sc.Mode, len(sc.Schemes))
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "%d of %d scenario file(s) invalid\n", bad, len(args))
+		return exitFailures
+	}
+	return exitOK
+}
+
+// executeExperiment runs one experiment (registry entry or compiled
+// scenario) under the shared hardening/reporting path. scenarioPath is
+// non-empty for scenario runs and switches the diag-bundle replay hint
+// to the `vswapsim run <path>` form.
+func executeExperiment(e experiment.Experiment, scenarioPath string, c cliConfig, stdout, stderr io.Writer) int {
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
 		if err != nil {
@@ -217,7 +328,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if c.diagDir != "" && len(r.Failures) > 0 {
-		paths, err := experiment.WriteDiagBundles(c.diagDir, "vswapsim", e.ID, opts, r.Failures)
+		replay := experiment.ReplayCommand("vswapsim", e.ID, opts)
+		if scenarioPath != "" {
+			replay = experiment.ScenarioReplayCommand(scenarioPath, opts)
+		}
+		paths, err := experiment.WriteDiagBundlesReplay(c.diagDir, "vswapsim", e.ID, replay, opts, r.Failures)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return exitFailures
@@ -242,7 +357,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case incomplete:
 		return exitIncomplete
-	case len(r.Failures) > 0:
+	case len(r.Failures) > 0 || r.Report.AssertionFailures > 0:
 		return exitFailures
 	}
 	return exitOK

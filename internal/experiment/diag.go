@@ -66,6 +66,31 @@ func ReplayCommand(cmd, expID string, o Options) string {
 	return b.String()
 }
 
+// ScenarioReplayCommand renders the CLI invocation that replays a
+// scenario run deterministically (the `vswapsim run <path>` form).
+// -celltimeout is omitted for the same reason as in ReplayCommand.
+func ScenarioReplayCommand(path string, o Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go run ./cmd/vswapsim run %s", path)
+	fmt.Fprintf(&b, " -seed %d -scale %g", o.Seed, o.Scale)
+	if o.Quick {
+		b.WriteString(" -quick")
+	}
+	if !o.Faults.Empty() {
+		fmt.Fprintf(&b, " -faults '%s'", o.Faults.String())
+	}
+	if o.AuditEvery > 0 {
+		fmt.Fprintf(&b, " -auditevery %d", o.AuditEvery)
+	}
+	if o.MaxEvents > 0 {
+		fmt.Fprintf(&b, " -maxevents %d", o.MaxEvents)
+	}
+	if o.TraceRing > 0 {
+		fmt.Fprintf(&b, " -tracering %d", o.TraceRing)
+	}
+	return b.String()
+}
+
 // bundleFileName derives a stable, filesystem-safe name for a failure's
 // bundle from the experiment id and the cell label.
 func bundleFileName(expID string, f FailureRecord) string {
@@ -77,6 +102,13 @@ func bundleFileName(expID string, f FailureRecord) string {
 // missing) and returns the paths written. cmd names the CLI for the
 // replay hint; expID is the experiment the failures belong to.
 func WriteDiagBundles(dir, cmd, expID string, o Options, fails []FailureRecord) ([]string, error) {
+	return WriteDiagBundlesReplay(dir, cmd, expID, ReplayCommand(cmd, expID, o.normalized()), o, fails)
+}
+
+// WriteDiagBundlesReplay is WriteDiagBundles with an explicit replay
+// command (scenario runs replay via `vswapsim run <path>` rather than
+// `-run <id>`).
+func WriteDiagBundlesReplay(dir, cmd, expID, replay string, o Options, fails []FailureRecord) ([]string, error) {
 	if len(fails) == 0 {
 		return nil, nil
 	}
@@ -97,7 +129,7 @@ func WriteDiagBundles(dir, cmd, expID string, o Options, fails []FailureRecord) 
 			AuditEvery: o.AuditEvery,
 			MaxEvents:  o.MaxEvents,
 			TraceRing:  o.TraceRing,
-			Replay:     ReplayCommand(cmd, expID, o),
+			Replay:     replay,
 			Failure:    f,
 		}
 		if o.CellTimeout > 0 {

@@ -253,6 +253,11 @@ type Report struct {
 	PaperNote string
 	Tables    []*Table
 	Notes     []string
+	// AssertionFailures counts scenario assertions that did not hold (the
+	// details are also in Notes as "ASSERTION FAILED" lines, so they are
+	// fingerprinted); the CLI maps a nonzero count to exit code 1. Always
+	// zero for hand-coded experiments.
+	AssertionFailures int
 }
 
 // String renders the full report.

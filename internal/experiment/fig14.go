@@ -10,14 +10,42 @@ import (
 	"vswapsim/internal/workload"
 )
 
-// runDynamic executes the §5.2 dynamic scenario: n guests (2 GB, 2 VCPUs)
-// on an 8 GB host run Metis word-count, started 10 seconds apart. Balloon
-// schemes are managed by the MOM-like controller. It returns the mean
-// guest runtime, how many guests were OOM-killed, and the failure record
-// when the cell was killed or panicked (runtime and kills are then
-// zero). seed, when nonzero, overrides o.Seed so fan-out cells get
-// independent derived streams.
-func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int, *FailureRecord) {
+// dynCfg sizes a dynamic (multi-guest phased) cell. The zero value is not
+// valid; use defaultDynCfg (the paper's §5.2 setup) or build one from a
+// scenario fleet. All MB figures are pre-scale.
+type dynCfg struct {
+	memMB      int
+	hostMB     int
+	vcpus      int
+	staggerSec int
+	diskMB     int
+	// job launches one guest's workload.
+	job func(o Options, vm *hyper.VM) *workload.Job
+}
+
+// defaultDynCfg is the hard-coded Fig. 4/14 configuration: 2 GB guests
+// with 2 VCPUs on an 8 GB host, started 10 s apart, each running Metis
+// word-count.
+func defaultDynCfg() dynCfg {
+	return dynCfg{
+		memMB: 2 * 1024, hostMB: 8 * 1024, vcpus: 2, staggerSec: 10, diskMB: 20 * 1024,
+		job: func(o Options, vm *hyper.VM) *workload.Job {
+			return workload.Metis(vm, workload.MetisConfig{
+				InputMB: o.mb(300),
+				TableMB: o.mb(1024),
+			})
+		},
+	}
+}
+
+// runDynamic executes the §5.2 dynamic scenario: n guests (dc.memMB,
+// dc.vcpus VCPUs) on a dc.hostMB host run dc.job, started dc.staggerSec
+// seconds apart. Balloon schemes are managed by the MOM-like controller.
+// It returns the mean guest runtime, how many guests were OOM-killed, and
+// the failure record when the cell was killed or panicked (runtime and
+// kills are then zero). seed, when nonzero, overrides o.Seed so fan-out
+// cells get independent derived streams.
+func runDynamic(o Options, scheme Scheme, n int, seed uint64, dc dynCfg) (sim.Duration, int, *FailureRecord) {
 	o = o.normalized()
 	release := o.acquire()
 	defer release()
@@ -32,7 +60,7 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 	failed := o.runShielded(label, seed, st, func() {
 		m := hyper.NewMachine(hyper.MachineConfig{
 			Seed:         seed,
-			HostMemPages: o.pages(8 * 1024),
+			HostMemPages: o.pages(dc.hostMB),
 			Faults:       o.Faults,
 			Budget:       o.cellBudget(),
 		})
@@ -46,9 +74,9 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 		for i := range vms {
 			vms[i] = m.NewVM(hyper.VMConfig{
 				Name:       fmt.Sprintf("vm%d", i),
-				MemPages:   o.pages(2 * 1024),
-				VCPUs:      2,
-				DiskBlocks: int64(o.mb(20*1024)) << 20 / 4096,
+				MemPages:   o.pages(dc.memMB),
+				VCPUs:      dc.vcpus,
+				DiskBlocks: int64(o.mb(dc.diskMB)) << 20 / 4096,
 				Mapper:     scheme.mapper(),
 				Preventer:  scheme.preventer(),
 				GuestAPF:   true,
@@ -68,12 +96,9 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64) (sim.Duration, int
 			}
 			jobs := make([]*workload.Job, n)
 			for i, vm := range vms {
-				jobs[i] = workload.Metis(vm, workload.MetisConfig{
-					InputMB: o.mb(300),
-					TableMB: o.mb(1024),
-				})
+				jobs[i] = dc.job(o, vm)
 				if i < n-1 {
-					p.Sleep(10 * sim.Second)
+					p.Sleep(sim.Duration(dc.staggerSec) * sim.Second)
 				}
 			}
 			for _, j := range jobs {
@@ -131,26 +156,48 @@ func Fig14(o Options) *Report {
 	return rep
 }
 
-// dynamicCells runs the counts × schemes grid of runDynamic calls on the
-// worker pool, returning rendered cells in row-major (counts-outer) order.
-// Each cell's seed derives from (id, scheme, guest count).
-func dynamicCells(o Options, id string, counts []int, schemes []Scheme) []string {
+// dynOut is one completed dynamic cell in structured form (scenario
+// assertions evaluate against these before rendering).
+type dynOut struct {
+	mean   sim.Duration
+	killed int
+	failed bool
+}
+
+// renderDynCell formats a dynamic cell the way Fig. 4/14 print them.
+func renderDynCell(c dynOut) string {
+	if c.failed {
+		return "failed"
+	}
+	cell := secs(c.mean)
+	if c.killed > 0 {
+		cell += fmt.Sprintf(" (%d killed)", c.killed)
+	}
+	return cell
+}
+
+// dynamicGrid runs the counts × schemes grid of runDynamic calls on the
+// worker pool, returning structured cells in row-major (counts-outer)
+// order. Each cell's seed derives from (id, scheme, guest count).
+func dynamicGrid(o Options, id string, counts []int, schemes []Scheme, dc dynCfg) []dynOut {
 	o = o.normalized()
-	out := make([]string, len(counts)*len(schemes))
+	out := make([]dynOut, len(counts)*len(schemes))
 	o.forEach(len(out), func(i int) {
 		n, s := counts[i/len(schemes)], schemes[i%len(schemes)]
 		seed := sim.DeriveSeed(o.Seed, id, s.String(), strconv.Itoa(n))
-		mean, killed, failed := runDynamic(o, s, n, seed)
-		if failed != nil {
-			out[i] = "failed"
-			return
-		}
-		cell := secs(mean)
-		if killed > 0 {
-			cell += fmt.Sprintf(" (%d killed)", killed)
-		}
-		out[i] = cell
+		mean, killed, failed := runDynamic(o, s, n, seed, dc)
+		out[i] = dynOut{mean: mean, killed: killed, failed: failed != nil}
 	})
+	return out
+}
+
+// dynamicCells is dynamicGrid pre-rendered for table assembly.
+func dynamicCells(o Options, id string, counts []int, schemes []Scheme) []string {
+	grid := dynamicGrid(o, id, counts, schemes, defaultDynCfg())
+	out := make([]string, len(grid))
+	for i, c := range grid {
+		out[i] = renderDynCell(c)
+	}
 	return out
 }
 

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vswapsim/internal/scenario"
+)
+
+func loadScenario(t *testing.T, name string) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Load(filepath.Join("..", "..", "scenarios", name+".yaml"))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return sc
+}
+
+// scenarioJSON runs one experiment through the shared executor and returns
+// its full machine-readable report (tables, notes, per-run records) as
+// canonical JSON bytes — the same payload `vswapsim -json` emits per
+// experiment, minus the document header.
+func scenarioJSON(t *testing.T, e Experiment, o Options) []byte {
+	t.Helper()
+	resetSweepCaches()
+	rs := RunAll([]Experiment{e}, o, nil)
+	if len(rs) != 1 {
+		t.Fatalf("RunAll returned %d results", len(rs))
+	}
+	r := rs[0]
+	if len(r.Failures) != 0 {
+		t.Fatalf("%s: unexpected failures: %+v", e.ID, r.Failures)
+	}
+	data, err := json.MarshalIndent(BuildJSON(r.Report, r.Runs, r.Failures), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestScenarioEquivalence proves the YAML mirrors of the hand-coded paper
+// figures are not approximations: compiled scenarios must produce
+// byte-identical JSON reports to their Go counterparts, serially and under
+// the parallel executor.
+func TestScenarioEquivalence(t *testing.T) {
+	for _, id := range []string{"fig3", "fig9", "fig14"} {
+		t.Run(id, func(t *testing.T) {
+			goExp, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yamlExp := FromScenario(loadScenario(t, id))
+			for _, par := range []int{1, 4} {
+				o := goldenOpts()
+				o.Parallel = par
+				want := scenarioJSON(t, goExp, o)
+				got := scenarioJSON(t, yamlExp, o)
+				if !bytes.Equal(got, want) {
+					t.Errorf("parallel=%d: YAML scenario diverges from Go %s (%d vs %d bytes)",
+						par, id, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+const scenarioGoldenFile = "testdata/golden_scenarios.json"
+
+// TestScenarioGoldens fingerprints every checked-in scenario at the golden
+// configuration, reusing the package-wide -update flag:
+//
+//	go test ./internal/experiment -run TestScenarioGoldens -update
+func TestScenarioGoldens(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenarios found: %v", err)
+	}
+	sort.Strings(paths)
+	got := map[string]string{}
+	for _, p := range paths {
+		sc, err := scenario.Load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(p), ".yaml")
+		if sc.Name != base {
+			t.Errorf("%s: scenario name %q does not match file name %q "+
+				"(the name keys the seed derivation)", p, sc.Name, base)
+		}
+		resetSweepCaches()
+		rep := FromScenario(sc).Run(goldenOpts())
+		if rep.AssertionFailures != 0 {
+			t.Errorf("%s: %d assertion failures at golden config:\n  %s",
+				p, rep.AssertionFailures, strings.Join(rep.Notes, "\n  "))
+		}
+		got[sc.Name] = rep.Fingerprint()
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(scenarioGoldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(scenarioGoldenFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fingerprints to %s", len(got), scenarioGoldenFile)
+		return
+	}
+
+	data, err := os.ReadFile(scenarioGoldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	for name, fp := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden fingerprint recorded (run with -update)", name)
+			continue
+		}
+		if fp != w {
+			t.Errorf("%s: fingerprint %s, golden %s — scenario output drifted; "+
+				"if intentional, regenerate with -update", name, fp[:12], w[:12])
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("golden file has stale entry %q (run with -update)", name)
+		}
+	}
+}
+
+// TestSchemeNamesAgree pins the two sides of the scheme-name contract:
+// every simulator Scheme is reachable from YAML under exactly its
+// String() name, and scenario.SchemeNames (used in validation errors and
+// docs) lists exactly that set.
+func TestSchemeNamesAgree(t *testing.T) {
+	all := []Scheme{Baseline, BalloonBase, MapperOnly, VSwapper, BalloonVSwapper}
+	if len(schemeByName) != len(all) {
+		t.Errorf("schemeByName has %d entries, want %d", len(schemeByName), len(all))
+	}
+	for _, s := range all {
+		got, ok := schemeByName[s.String()]
+		if !ok {
+			t.Errorf("scheme %q not reachable from YAML", s.String())
+			continue
+		}
+		if got != s {
+			t.Errorf("schemeByName[%q] = %v, want %v", s.String(), got, s)
+		}
+	}
+	names := map[string]bool{}
+	for _, n := range scenario.SchemeNames {
+		names[n] = true
+		if _, ok := schemeByName[n]; !ok {
+			t.Errorf("scenario.SchemeNames lists %q, unknown to the compiler", n)
+		}
+	}
+	for n := range schemeByName {
+		if !names[n] {
+			t.Errorf("compiler accepts scheme %q missing from scenario.SchemeNames", n)
+		}
+	}
+}
+
+// TestScenarioAssertionFailure proves a failed assertion is both visible
+// (deterministic note, so it lands in the fingerprint) and fatal to the
+// CLI (nonzero AssertionFailures maps to exit code 1).
+func TestScenarioAssertionFailure(t *testing.T) {
+	doc := `scenario: must-fail
+title: "assertion failure propagation probe"
+mode: single
+fleet:
+  memory_mb: 512
+  actual_mb: 256
+schemes: [baseline]
+workload:
+  kind: seqread
+  file_mb: 200
+  iterations: 1
+  quick_iterations: 1
+table:
+  title: "runtime [sec]"
+assertions:
+  - counter: workload.killed
+    scheme: baseline
+    op: "=="
+    value: 1
+`
+	sc, err := scenario.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := FromScenario(sc).Run(goldenOpts())
+	if rep.AssertionFailures != 1 {
+		t.Fatalf("AssertionFailures = %d, want 1\nnotes: %v", rep.AssertionFailures, rep.Notes)
+	}
+	var failNote, summary bool
+	for _, n := range rep.Notes {
+		if strings.HasPrefix(n, "ASSERTION FAILED: workload.killed[baseline] == 1") {
+			failNote = true
+		}
+		if n == "assertions: 0/1 passed" {
+			summary = true
+		}
+	}
+	if !failNote || !summary {
+		t.Fatalf("assertion failure not reported in notes: %v", rep.Notes)
+	}
+}

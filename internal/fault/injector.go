@@ -16,6 +16,10 @@ type Injector struct {
 	plan Plan
 	rng  *sim.RNG
 	met  *metrics.Set
+	// disarmed suppresses firing while still advancing nothing: a disarmed
+	// injector draws no randomness, so arming it mid-run (scenario
+	// inject_faults events) perturbs only post-arming behavior.
+	disarmed bool
 }
 
 // New builds an injector for the plan, or nil when the plan is empty (the
@@ -32,6 +36,19 @@ func New(plan Plan, seed uint64, met *metrics.Set) *Injector {
 	return &Injector{plan: plan, rng: sim.NewRNG(seed), met: met}
 }
 
+// SetEnabled arms or disarms the injector. Nil-receiver-safe (a nil
+// injector stays off). While disarmed, fire draws nothing from the
+// injector's PRNG stream, so the schedule after arming is identical to
+// that of an injector created at the arming instant with the same seed.
+func (in *Injector) SetEnabled(v bool) {
+	if in != nil {
+		in.disarmed = !v
+	}
+}
+
+// Enabled reports whether the injector can fire (false for nil).
+func (in *Injector) Enabled() bool { return in != nil && !in.disarmed }
+
 // Plan returns the injector's plan (the zero Plan for a nil injector).
 func (in *Injector) Plan() Plan {
 	if in == nil {
@@ -44,7 +61,7 @@ func (in *Injector) Plan() Plan {
 // firing. Inactive kinds draw nothing, keeping streams independent of
 // which other kinds are enabled elsewhere in the plan's consumers.
 func (in *Injector) fire(k Kind) bool {
-	if in == nil {
+	if in == nil || in.disarmed {
 		return false
 	}
 	r := in.plan.rules[k]

@@ -31,6 +31,11 @@ type MachineConfig struct {
 	// host-MM, VSwapper and balloon layers (see internal/fault). The zero
 	// Plan disables injection entirely, at zero cost.
 	Faults fault.Plan
+	// FaultsDisarmed builds the injector for Faults but leaves it disarmed;
+	// the run arms it later via Machine.Inj.SetEnabled(true) (scenario
+	// timelines inject faults mid-run this way). Meaningless when Faults is
+	// empty: no injector exists to arm.
+	FaultsDisarmed bool
 	// Budget installs the progress watchdog on the machine's event loop:
 	// event-count, stall (non-advancing simulated clock) and wall-clock
 	// bounds plus an external cancellation poll. The zero Budget disables
@@ -78,6 +83,9 @@ func NewMachine(cfg MachineConfig) *Machine {
 	// The injector draws from its own derived stream, never from env's, so
 	// an empty plan leaves the simulation bit-identical to no injection.
 	inj := fault.New(cfg.Faults, sim.DeriveSeed(cfg.Seed, "fault-injector"), met)
+	if cfg.FaultsDisarmed {
+		inj.SetEnabled(false)
+	}
 	dev.SetInjector(inj)
 	mm.Inj = inj
 	m := &Machine{

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse checks the scenario parser's core contract on
+// arbitrary input: it never panics, every rejection is a positioned
+// *ParseError (line >= 1, col >= 1), and every accepted document obeys
+// the invariants the compiler in internal/experiment relies on — a
+// declared mode, at least one scheme with a known name, and a workload
+// kind the executor can build.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := []string{
+		validSingle,
+		"",
+		"scenario: x\n",
+		"scenario: x\ntitle: t\nmode: turbo\n",
+		"scenario: x\ntitle: t\nmode: single\nfleet: {memory_mb: 512}\n",
+		"scenario: x\ntitle: t\nmode: single\nfleet:\n\tmemory_mb: 512\n",
+		"schemes: [baseline, vswapper, mapper]\n",
+		"timeline:\n  - at_sec: 0.5\n    event: balloon_set\n    target_mb: 384\n",
+		"assertions:\n  - counter: disk.ops\n    op: \"==\"\n",
+		"workload:\n  kind: seqread\n  file_mb: 1e99\n",
+		"# only a comment\n---\n...\n",
+		"a: \"unterminated\nb: 'quote\n",
+		"fleet:\n  counts: [1, 2, 3,\n",
+		"scenario: x\nscenario: x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		sc, err := Parse([]byte(doc))
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("rejection is %T, want *ParseError: %v", err, err)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("rejection lacks a position: %+v", pe)
+			}
+			if pe.File != "" {
+				t.Fatalf("Parse must not set File (Load does): %+v", pe)
+			}
+			return
+		}
+		if sc == nil {
+			t.Fatal("nil scenario with nil error")
+		}
+		if sc.Mode != ModeSingle && sc.Mode != ModeDynamic {
+			t.Fatalf("accepted scenario has mode %q", sc.Mode)
+		}
+		if len(sc.Schemes) == 0 {
+			t.Fatal("accepted scenario has no schemes")
+		}
+		known := strings.Join(SchemeNames, " ")
+		for _, s := range sc.Schemes {
+			if !strings.Contains(known, s.Name) {
+				t.Fatalf("accepted scenario has unknown scheme %q", s.Name)
+			}
+		}
+		switch sc.Workload.Kind {
+		case KindSeqRead, KindAllocTouch, KindMetis:
+		default:
+			t.Fatalf("accepted scenario has workload kind %q", sc.Workload.Kind)
+		}
+	})
+}
