@@ -86,10 +86,12 @@ func (pv *Preventer) HandleWriteFault(p *sim.Proc, pg *hostmm.Page, off, n int, 
 		return false
 	}
 	if rep || (off == 0 && n >= mem.PageSize) {
-		// Guaranteed full overwrite: skip buffering entirely.
-		pv.MM.BeginEmulation(pg)
-		pv.MM.EmulationRemap(p, pg)
-		return true
+		// Guaranteed full overwrite: skip buffering entirely. The remap
+		// charges its frame before the page leaves the non-resident state
+		// (never exposing a bufferless Emulated page while the charge
+		// blocks in reclaim); if a concurrent fault resolved the page
+		// meanwhile, the write goes back to the ordinary fault path.
+		return pv.MM.RemapOverwrite(p, pg)
 	}
 	if off != 0 {
 		// First write not at the page start: the sequential-fill bet is
@@ -100,7 +102,9 @@ func (pv *Preventer) HandleWriteFault(p *sim.Proc, pg *hostmm.Page, off, n int, 
 		return false
 	}
 	pv.MM.BeginEmulation(pg)
-	pv.MM.Trace.Add(pv.Env.Now(), trace.Preventer, "emulate gfn=%d", pg.ID)
+	if pv.MM.Trace.Recording(trace.Preventer) {
+		pv.MM.Trace.Add(pv.Env.Now(), trace.Preventer, "emulate gfn=%d", pg.ID)
+	}
 	b := &emuBuf{pg: pg, firstWrite: pv.Env.Now(), done: sim.NewSignal(pv.Env)}
 	pg.Emu = b
 	pv.active++

@@ -3,6 +3,7 @@ package experiment
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -13,6 +14,14 @@ import (
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
 )
+
+// auditStride lets the property sweep rerun with the auditor on every
+// event after structural changes to the audited state (flat swap/file
+// tables, owner slabs):
+//
+//	go test ./internal/experiment -run TestFaultPlanPropertySweep -auditstride 1
+var auditStride = flag.Int("auditstride", 2048,
+	"invariant-audit stride for the fault property sweep (1 = audit every event)")
 
 // faultOpts is the fault-test configuration: small and quick, with the
 // invariant auditor strided tightly enough to catch corruption close to
@@ -43,6 +52,7 @@ func TestFaultPlanPropertySweep(t *testing.T) {
 			t.Parallel()
 			plan := fault.RandomPlan(seed)
 			o := faultOpts(plan)
+			o.AuditEvery = *auditStride
 			o.Seed = 1000 + seed // vary the machine streams along with the plan
 			defer func() {
 				if r := recover(); r != nil {

@@ -20,6 +20,7 @@ var Registry = []Experiment{
 	{ID: "windows", Title: "Windows-profile guest", PaperNote: "§5.4", Run: Windows},
 	{ID: "ablation", Title: "Design-choice ablations", PaperNote: "DESIGN.md §6", Run: Ablations},
 	{ID: "migration", Title: "Mapping-assisted migration estimate", PaperNote: "§7 future work", Run: Migration},
+	{ID: "fleetN", Title: "Cloud-density fleet on one overcommitted host", PaperNote: "beyond Fig. 14", Run: FleetN},
 }
 
 // ByID returns the experiment with the given id.

@@ -41,6 +41,26 @@ func (os *OS) raWindow(f *VFile, b int64) int {
 	return win
 }
 
+// readBufs is the per-read scratch checked out from OS.readBufs: the block
+// run and target frames of one readahead window.
+type readBufs struct {
+	run  []int64
+	gfns []int
+}
+
+func (os *OS) getReadBufs() *readBufs {
+	if n := len(os.readBufs); n > 0 {
+		b := os.readBufs[n-1]
+		os.readBufs = os.readBufs[:n-1]
+		return b
+	}
+	return &readBufs{}
+}
+
+func (os *OS) putReadBufs(b *readBufs) {
+	os.readBufs = append(os.readBufs, b)
+}
+
 // ReadFile reads [off, off+n) of f through the page cache, with
 // sequential readahead on misses. Offsets are in bytes.
 func (t *Thread) ReadFile(f *VFile, off, n int64) {
@@ -54,7 +74,7 @@ func (t *Thread) ReadFile(f *VFile, off, n int64) {
 			return
 		}
 		vb := f.Block(b)
-		if gfn, ok := os.cache[vb]; ok {
+		if gfn, ok := os.cache.get(vb); ok {
 			os.touchLRU(gfn)
 			os.Plat.TouchPage(t.P, int(gfn), false)
 			t.Compute(os.Cfg.PerPageCost)
@@ -62,21 +82,24 @@ func (t *Thread) ReadFile(f *VFile, off, n int64) {
 		}
 		// Miss: read a readahead window of uncached blocks.
 		win := os.raWindow(f, b)
-		run := make([]int64, 0, win)
+		bufs := os.getReadBufs()
+		run := bufs.run[:0]
 		for j := 0; j < win; j++ {
 			vj := f.Block(b) + int64(j)
 			if b+int64(j) >= f.Blocks {
 				break
 			}
-			if _, cached := os.cache[vj]; cached {
+			if _, cached := os.cache.get(vj); cached {
 				break // keep the disk request contiguous
 			}
 			run = append(run, vj)
 		}
-		gfns := make([]int, 0, len(run))
+		gfns := bufs.gfns[:0]
 		for range run {
 			gfn := os.allocPage(t)
 			if gfn < 0 {
+				bufs.run, bufs.gfns = run, gfns
+				os.putReadBufs(bufs)
 				return
 			}
 			gfns = append(gfns, int(gfn))
@@ -86,6 +109,8 @@ func (t *Thread) ReadFile(f *VFile, off, n int64) {
 			gfn := int32(gfns[j])
 			os.insertCache(gfn, vb2, j == 0)
 		}
+		bufs.run, bufs.gfns = run, gfns
+		os.putReadBufs(bufs)
 		if len(run) > 1 {
 			os.Met.Add(metrics.GuestReadaheadPgs, int64(len(run)-1))
 		}
@@ -115,7 +140,7 @@ func (t *Thread) WriteFile(f *VFile, off, n int64) {
 			span = end - pos
 		}
 		vb := f.Block(b)
-		gfn, cached := os.cache[vb]
+		gfn, cached := os.cache.get(vb)
 		whole := inPage == 0 && span == pageSizeBytes
 		if !cached {
 			ng := os.allocPage(t)
@@ -158,7 +183,7 @@ func (t *Thread) Sync(f *VFile) {
 	var items []wbItem
 	for b := int64(0); b < f.Blocks; b++ {
 		vb := f.Block(b)
-		if gfn, ok := os.cache[vb]; ok && os.pages[gfn].dirty {
+		if gfn, ok := os.cache.get(vb); ok && os.pages[gfn].dirty {
 			items = append(items, wbItem{gfn: gfn, block: vb})
 		}
 	}
@@ -226,7 +251,7 @@ func (os *OS) insertCache(gfn int32, vblock int64, demanded bool) {
 	pi.block = vblock
 	pi.dirty = false
 	pi.referenced = demanded
-	os.cache[vblock] = gfn
+	os.cache.set(vblock, gfn)
 	os.inactiveFile.pushFront(os, gfn)
 }
 
@@ -246,7 +271,7 @@ func (os *OS) DropCaches() {
 				continue
 			}
 			l.remove(os, gfn)
-			delete(os.cache, pi.block)
+			os.cache.del(pi.block)
 			os.putFree(gfn)
 		}
 	}

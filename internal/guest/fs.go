@@ -89,14 +89,17 @@ type guestSwap struct {
 	free  []bool
 	hint  int64
 	inUse int
-	owner map[int64]swapOwner
+	// owner is a dense per-slot table (pr == nil marks an unowned slot):
+	// swap readahead probes consecutive slots on every guest swap-in, so
+	// lookups must be indexed loads rather than map probes.
+	owner []swapOwner
 }
 
 func newGuestSwap(start, blocks int64) *guestSwap {
 	g := &guestSwap{
 		start: start,
 		free:  make([]bool, blocks),
-		owner: make(map[int64]swapOwner),
+		owner: make([]swapOwner, blocks),
 	}
 	for i := range g.free {
 		g.free[i] = true
@@ -125,12 +128,21 @@ func (g *guestSwap) release(slot int64) {
 		g.hint = slot
 	}
 	g.inUse--
-	delete(g.owner, slot)
+	g.owner[slot] = swapOwner{}
 }
 
 // setOwner records which process page a slot holds.
 func (g *guestSwap) setOwner(slot int64, pr *Process, idx int) {
 	g.owner[slot] = swapOwner{pr: pr, idx: idx}
+}
+
+// ownerAt returns the owner of slot (pr == nil when unowned or out of
+// range).
+func (g *guestSwap) ownerAt(slot int64) swapOwner {
+	if slot < 0 || slot >= int64(len(g.owner)) {
+		return swapOwner{}
+	}
+	return g.owner[slot]
 }
 
 // block translates a slot to its vdisk block.

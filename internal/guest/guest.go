@@ -207,7 +207,7 @@ type OS struct {
 	freeList []int32
 	freePool int // == len(freeList)
 
-	cache map[int64]int32 // vdisk block -> gfn
+	cache *blockMap // vdisk block -> gfn
 
 	activeFile   gfnList
 	inactiveFile gfnList
@@ -226,6 +226,11 @@ type OS struct {
 	balloonWake *sim.Signal
 
 	ra map[*VFile]*raState
+
+	// readBufs is a freelist of readahead scratch buffers. A buffer stays
+	// checked out across the blocking DiskRead, and threads interleave at
+	// blocking points, so concurrent reads need distinct buffers.
+	readBufs []*readBufs
 
 	procs        []*Process
 	oomKills     int
@@ -255,7 +260,7 @@ func NewOS(env *sim.Env, met *metrics.Set, plat Platform, fs *FileSystem, cfg Co
 		FS:           fs,
 		VCPU:         sim.NewResource(env, cfg.VCPUs),
 		pages:        make([]pageInfo, cfg.MemPages),
-		cache:        make(map[int64]int32),
+		cache:        newBlockMap(fs.TotalBlocks()),
 		activeFile:   newGFNList(listActiveFile),
 		inactiveFile: newGFNList(listInactiveFile),
 		activeAnon:   newGFNList(listActiveAnon),

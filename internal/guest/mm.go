@@ -163,7 +163,7 @@ func (os *OS) shrinkLists(t *Thread, target int) (freedN, cheapN, ioN int) {
 				continue
 			}
 			list.remove(os, gfn)
-			delete(os.cache, pi.block)
+			os.cache.del(pi.block)
 			os.putFree(gfn)
 			os.Met.Inc(metrics.GuestCacheDrops)
 			freed++
@@ -230,7 +230,7 @@ func (os *OS) writebackAndFree(t *Thread, items []wbItem) int {
 			if pi.kind != kindCache {
 				continue // dropped concurrently
 			}
-			delete(os.cache, pi.block)
+			os.cache.del(pi.block)
 			os.dirtyCount--
 			os.Met.Inc(metrics.GuestCacheDrops)
 		}
@@ -277,8 +277,10 @@ func (os *OS) oomKill() {
 	}
 	os.oomKills++
 	os.Met.Inc(metrics.GuestOOMKills)
-	os.Trace.Add(os.Env.Now(), trace.OOM, "kill %s footprint=%d free=%d balloon=%d",
-		victim.Name, victim.Footprint(), os.freePool, len(os.balloonGFNs))
+	if os.Trace.Recording(trace.OOM) {
+		os.Trace.Add(os.Env.Now(), trace.OOM, "kill %s footprint=%d free=%d balloon=%d",
+			victim.Name, victim.Footprint(), os.freePool, len(os.balloonGFNs))
+	}
 	victim.Killed = true
 	os.releaseProcessMemory(victim)
 }

@@ -140,8 +140,8 @@ func (os *OS) guestSwapIn(t *Thread, pr *Process, idx int) {
 	}
 	var extras []extra
 	for next := slot + 1; next < slot+swapReadahead; next++ {
-		ow, ok := os.swap.owner[next]
-		if !ok || ow.pr.Killed || ow.pr.slots[ow.idx].state != anonSwapped ||
+		ow := os.swap.ownerAt(next)
+		if ow.pr == nil || ow.pr.Killed || ow.pr.slots[ow.idx].state != anonSwapped ||
 			ow.pr.slots[ow.idx].slot != next {
 			break
 		}

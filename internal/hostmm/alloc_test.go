@@ -1,0 +1,41 @@
+package hostmm
+
+import (
+	"testing"
+
+	"vswapsim/internal/sim"
+)
+
+// TestMinorFaultFastPathZeroAllocs locks the hot-path overhaul in place:
+// servicing a minor fault on a resident page — EPT map, LRU touch,
+// counters, latency histogram, and the simulated fault cost (an inline
+// fast-path sleep) — must not allocate. Regressions here are what turned
+// the fig5/fig11 sweeps allocation-bound before the flat counter cache,
+// event freelist, and scratch-buffer pools.
+func TestMinorFaultFastPathZeroAllocs(t *testing.T) {
+	r := newRig(t, 1000, 0)
+	r.run(t, func(p *sim.Proc) {
+		pages := make([]*Page, 64)
+		for i := range pages {
+			pages[i] = r.mgr.NewPage(r.cg, i)
+			r.mgr.FirstTouch(p, pages[i], GuestCtx)
+		}
+		// Warm the lazy pools (event freelist, histogram buckets) before
+		// measuring.
+		for _, pg := range pages {
+			pg.EPT = false
+			r.mgr.MinorMap(p, pg, GuestCtx)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(200, func() {
+			pg := pages[i%len(pages)]
+			i++
+			pg.EPT = false
+			r.mgr.MinorMap(p, pg, GuestCtx)
+			r.mgr.Touch(pg)
+		})
+		if avg != 0 {
+			t.Errorf("minor-fault fast path allocates %.2f objects per fault, want 0", avg)
+		}
+	})
+}

@@ -71,11 +71,13 @@ func (m *Manager) Audit() error {
 	if totalResident != m.Pool.Used() {
 		return fmt.Errorf("pool uses %d frames but cgroups charge %d", m.Pool.Used(), totalResident)
 	}
-	if len(m.Swap.owner) != m.Swap.inUse {
-		return fmt.Errorf("swap allocator counts %d slots in use but owner map has %d",
-			m.Swap.inUse, len(m.Swap.owner))
-	}
-	for slot, pg := range m.Swap.owner {
+	owned := 0
+	for i, pg := range m.Swap.owner {
+		if pg == nil {
+			continue
+		}
+		owned++
+		slot := int64(i)
 		if m.Swap.free[slot] {
 			return fmt.Errorf("slot %d owned by page %d but marked free", slot, pg.ID)
 		}
@@ -87,6 +89,10 @@ func (m *Manager) Audit() error {
 		default:
 			return fmt.Errorf("slot %d owned by page %d in state %s", slot, pg.ID, pg.State)
 		}
+	}
+	if owned != m.Swap.inUse {
+		return fmt.Errorf("swap allocator counts %d slots in use but owner table has %d",
+			m.Swap.inUse, owned)
 	}
 	return nil
 }

@@ -9,11 +9,11 @@ import (
 )
 
 // checkOwnerInvariant asserts the slot allocator's core bookkeeping rule:
-// the owner map tracks exactly the allocated slots.
+// the owner table tracks exactly the allocated slots.
 func checkOwnerInvariant(t *testing.T, s *SwapArea) {
 	t.Helper()
-	if len(s.owner) != s.inUse {
-		t.Fatalf("owner map size %d != inUse %d", len(s.owner), s.inUse)
+	if s.ownedSlots() != s.inUse {
+		t.Fatalf("owner table size %d != inUse %d", s.ownedSlots(), s.inUse)
 	}
 }
 
@@ -77,8 +77,8 @@ func TestSwapAreaChurnOwnerBookkeeping(t *testing.T) {
 		s.Free(pg.SwapSlot)
 	}
 	checkOwnerInvariant(t, s)
-	if s.InUse() != 0 || len(s.owner) != 0 {
-		t.Fatalf("after draining: inUse=%d owner=%d, want 0/0", s.InUse(), len(s.owner))
+	if s.InUse() != 0 || s.ownedSlots() != 0 {
+		t.Fatalf("after draining: inUse=%d owner=%d, want 0/0", s.InUse(), s.ownedSlots())
 	}
 	// A drained area must be able to cluster again.
 	if pg := (&Page{SwapSlot: -1}); s.Alloc(pg) < 0 {
@@ -118,7 +118,7 @@ func TestSwapChurnThroughReclaim(t *testing.T) {
 	// Every slot still allocated is owned by a page that really references
 	// it (no stale resurrection of released descriptors).
 	for slot, pg := range r.swap.owner {
-		if pg.SwapSlot != slot {
+		if pg != nil && pg.SwapSlot != int64(slot) {
 			t.Fatalf("slot %d owned by page gfn=%d whose SwapSlot=%d", slot, pg.ID, pg.SwapSlot)
 		}
 	}
@@ -126,7 +126,7 @@ func TestSwapChurnThroughReclaim(t *testing.T) {
 	for _, pg := range pages {
 		r.mgr.Forget(pg)
 	}
-	if r.swap.InUse() != 0 || len(r.swap.owner) != 0 {
-		t.Fatalf("teardown leaked swap slots: inUse=%d owner=%d", r.swap.InUse(), len(r.swap.owner))
+	if r.swap.InUse() != 0 || r.swap.ownedSlots() != 0 {
+		t.Fatalf("teardown leaked swap slots: inUse=%d owner=%d", r.swap.InUse(), r.swap.ownedSlots())
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"vswapsim/internal/disk"
-	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
 	"vswapsim/internal/trace"
 )
@@ -45,17 +44,17 @@ func (m *Manager) NewFilePage(cg *Cgroup, id int, ref BlockRef) *Page {
 
 func (m *Manager) accountFault(ctx Ctx, major bool) {
 	if ctx == GuestCtx {
-		m.Met.Inc(metrics.HostFaultsInGuest)
+		m.c.faultsInGuest.Inc()
 		if major {
-			m.Met.Inc(metrics.HostMajorInGuest)
+			m.c.majorInGuest.Inc()
 		}
 	} else {
-		m.Met.Inc(metrics.HostFaultsInHost)
+		m.c.faultsInHost.Inc()
 	}
 	if major {
-		m.Met.Inc(metrics.HostMajorFaults)
+		m.c.majorFaults.Inc()
 	} else {
-		m.Met.Inc(metrics.HostMinorFaults)
+		m.c.minorFaults.Inc()
 	}
 }
 
@@ -64,12 +63,12 @@ func (m *Manager) accountFault(ctx Ctx, major bool) {
 // and charges the handler's CPU cost to the host-fault phase. Call it where
 // accountFault is called, with the fault entry time.
 func (m *Manager) accountFaultLatency(start sim.Time, major bool, cpu sim.Duration) {
-	name := metrics.HistFaultMinor
+	h := m.c.histFaultMinor
 	if major {
-		name = metrics.HistFaultMajor
+		h = m.c.histFaultMajor
 	}
-	m.Met.Histogram(name).Observe(m.Env.Now().Sub(start))
-	m.Met.Add(metrics.TimeHostFault, int64(cpu))
+	h.Observe(m.Env.Now().Sub(start))
+	m.c.timeHostFault.Add(int64(cpu))
 }
 
 // lockFault serializes concurrent fault-ins: it returns false if another
@@ -138,17 +137,21 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		return // a concurrent fault brought the page in
 	}
 	defer m.unlockFault(pg)
-	slots := m.Swap.ClusterRun(pg.SwapSlot, m.Cfg.SwapClusterPages)
+	bufs := m.getSwapInBufs()
+	defer m.putSwapInBufs(bufs)
+	slots := m.Swap.AppendClusterRun(bufs.ioSlots[:0], pg.SwapSlot, m.Cfg.SwapClusterPages)
 
 	// Read maximal disk-contiguous runs; skip slots whose page is already
-	// in the swap cache (resident).
-	var ioSlots []int64
+	// in the swap cache (resident). Filter in place: the run is scanned
+	// front to back and the filtered prefix never outruns the read cursor.
+	ioSlots := slots[:0]
 	for _, s := range slots {
 		q := m.Swap.Owner(s)
 		if q != nil && q.State == SwappedOut && (q == pg || q.fault == nil) {
 			ioSlots = append(ioSlots, s)
 		}
 	}
+	bufs.ioSlots = ioSlots
 	var last sim.Time
 	start := 0
 	for i := 1; i <= len(ioSlots); i++ {
@@ -160,8 +163,8 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		if done > last {
 			last = done
 		}
-		m.Met.Inc(metrics.SwapReadOps)
-		m.Met.Add(metrics.SwapReadSectors, int64(len(run))*disk.SectorsPerBlock)
+		m.c.swapReadOps.Inc()
+		m.c.swapReadSectors.Add(int64(len(run)) * disk.SectorsPerBlock)
 		start = i
 	}
 	m.Dev.WaitFor(p, last)
@@ -176,16 +179,16 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		for attempt := 0; pg.State == SwappedOut && m.Inj.SwapInFailure(); attempt++ {
 			if attempt == swapInMaxRetries {
 				poisoned = true
-				m.Met.Inc(metrics.FaultSwapInPoisoned)
+				m.c.faultSwapInPoisoned.Inc()
 				break
 			}
 			backoff := swapInRetryBackoff << attempt
-			m.Met.Inc(metrics.FaultSwapInRetries)
-			m.Met.Histogram(metrics.HistFaultBackoff).Observe(backoff)
+			m.c.faultSwapInRetries.Inc()
+			m.c.histBackoff.Observe(backoff)
 			p.Sleep(backoff)
 			done := m.Dev.Submit(disk.Read, m.Swap.Phys(pg.SwapSlot), 1)
-			m.Met.Inc(metrics.SwapReadOps)
-			m.Met.Add(metrics.SwapReadSectors, disk.SectorsPerBlock)
+			m.c.swapReadOps.Inc()
+			m.c.swapReadSectors.Add(disk.SectorsPerBlock)
 			m.Dev.WaitFor(p, done)
 		}
 	}
@@ -211,9 +214,11 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	pg.EPT = false
 	pg.Referenced = false
 	pg.Owner.inactiveAnon.pushFront(pg)
-	m.Met.Inc(metrics.HostSwapIns)
-	m.Trace.Add(m.Env.Now(), trace.Fault, "swap-in cg=%s gfn=%d slot=%d cluster=%d",
-		pg.Owner.Name, pg.ID, pg.SwapSlot, len(ioSlots))
+	m.c.hostSwapIns.Inc()
+	if m.Trace.Recording(trace.Fault) {
+		m.Trace.Add(m.Env.Now(), trace.Fault, "swap-in cg=%s gfn=%d slot=%d cluster=%d",
+			pg.Owner.Name, pg.ID, pg.SwapSlot, len(ioSlots))
+	}
 	if poisoned {
 		// Degrade to plain swap: drop the poisoned slot so nothing ever
 		// trusts its content again; the page must be rewritten to evict.
@@ -222,7 +227,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		pg.Dirty = true
 	}
 
-	var pinned []*Page
+	pinned := bufs.pinned[:0]
 	for _, s := range ioSlots {
 		q := m.Swap.Owner(s)
 		if q == nil || q.State != SwappedOut || q.fault != nil {
@@ -247,9 +252,10 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		q.EPT = false
 		q.Referenced = false
 		q.Owner.inactiveAnon.pushFront(q)
-		m.Met.Inc(metrics.HostSwapPrefetched)
+		m.c.hostSwapPrefetched.Inc()
 		pinned = append(pinned, q)
 	}
+	bufs.pinned = pinned
 	for _, q := range pinned {
 		m.unpin(q)
 	}
@@ -298,7 +304,7 @@ func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	}
 
 	done := m.Dev.Submit(disk.Read, f.Phys(b), nblocks)
-	m.Met.Add(metrics.ImageReadSectors, int64(nblocks)*disk.SectorsPerBlock)
+	m.c.imageReadSectors.Add(int64(nblocks) * disk.SectorsPerBlock)
 	m.Dev.WaitFor(p, done)
 
 	if pg.State != FileNonResident {
@@ -316,39 +322,44 @@ func (m *Manager) FileFaultIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	pg.Referenced = false
 	pg.Dirty = false
 	pg.Owner.inactiveFile.pushFront(pg)
-	m.Trace.Add(m.Env.Now(), trace.Fault, "file-in cg=%s gfn=%d block=%d window=%d",
-		pg.Owner.Name, pg.ID, b, nblocks)
-
-	var pinned []*Page
-	for i := 0; i < nblocks; i++ {
-		blk := b + int64(i)
-		f.EachMapping(blk, func(q *Page) {
-			if q == pg || q.State != FileNonResident || q.fault != nil {
-				return
-			}
-			if !m.canPrefetchInto(q.Owner) {
-				return
-			}
-			m.pin(q)
-			m.chargeFrames(p, q.Owner, 1)
-			if q.State != FileNonResident {
-				// A concurrent fault resolved q while reclaim slept.
-				m.unchargeFrame(q.Owner)
-				m.unpin(q)
-				return
-			}
-			q.State = ResidentFile
-			q.EPT = false
-			q.Referenced = false
-			q.Dirty = false
-			q.Owner.inactiveFile.pushFront(q)
-			m.Met.Inc(metrics.HostFilePrefetched)
-			pinned = append(pinned, q)
-		})
+	if m.Trace.Recording(trace.Fault) {
+		m.Trace.Add(m.Env.Now(), trace.Fault, "file-in cg=%s gfn=%d block=%d window=%d",
+			pg.Owner.Name, pg.ID, b, nblocks)
 	}
+
+	bufs := m.getSwapInBufs()
+	pinned := bufs.pinned[:0]
+	prefetch := func(q *Page) {
+		if q == pg || q.State != FileNonResident || q.fault != nil {
+			return
+		}
+		if !m.canPrefetchInto(q.Owner) {
+			return
+		}
+		m.pin(q)
+		m.chargeFrames(p, q.Owner, 1)
+		if q.State != FileNonResident {
+			// A concurrent fault resolved q while reclaim slept.
+			m.unchargeFrame(q.Owner)
+			m.unpin(q)
+			return
+		}
+		q.State = ResidentFile
+		q.EPT = false
+		q.Referenced = false
+		q.Dirty = false
+		q.Owner.inactiveFile.pushFront(q)
+		m.c.hostFilePrefetched.Inc()
+		pinned = append(pinned, q)
+	}
+	for i := 0; i < nblocks; i++ {
+		f.EachMapping(b+int64(i), prefetch)
+	}
+	bufs.pinned = pinned
 	for _, q := range pinned {
 		m.unpin(q)
 	}
+	m.putSwapInBufs(bufs)
 	m.unpin(pg)
 	m.accountFault(ctx, true)
 	p.Sleep(m.Cfg.MajorFaultCost)
@@ -375,7 +386,7 @@ func (m *Manager) MinorMap(p *sim.Proc, pg *Page, ctx Ctx) {
 		}
 	}
 	if wasHit {
-		m.Met.Inc(metrics.HostPrefetchHits)
+		m.c.hostPrefetchHits.Inc()
 	}
 	m.accountFault(ctx, false)
 	p.Sleep(m.Cfg.MinorFaultCost)
@@ -417,7 +428,7 @@ func (m *Manager) COWBreak(p *sim.Proc, pg *Page, ctx Ctx) {
 	pg.TruthBlock = BlockRef{}
 	pg.Referenced = true
 	pg.Owner.activeAnon.pushFront(pg)
-	m.Met.Inc(metrics.HostCOWBreaks)
+	m.c.hostCOWBreaks.Inc()
 	m.accountFault(ctx, false)
 	p.Sleep(m.Cfg.COWCost)
 	m.accountFaultLatency(start, false, m.Cfg.COWCost)
@@ -464,7 +475,7 @@ func (m *Manager) Forget(pg *Page) {
 func (m *Manager) BalloonTake(pg *Page) {
 	m.Forget(pg)
 	pg.State = Ballooned
-	m.Met.Inc(metrics.BalloonInflatePages)
+	m.c.balloonInflate.Inc()
 }
 
 // BalloonReturn gives a page back to the guest on deflate; its content is
@@ -474,5 +485,5 @@ func (m *Manager) BalloonReturn(pg *Page) {
 		panic(fmt.Sprintf("hostmm: BalloonReturn on %s page", pg.State))
 	}
 	pg.State = Untouched
-	m.Met.Inc(metrics.BalloonDeflatePages)
+	m.c.balloonDeflate.Inc()
 }

@@ -19,12 +19,33 @@ type File struct {
 	// mappings (after rescuing their old content) before the write lands.
 	InvalidateOnWrite bool
 
-	// mappings holds, per block, the chain head of pages mapping it.
-	mappings map[int64]*Page
+	// mappings holds, per block, the chain head of pages mapping it — a
+	// lazily allocated two-level table indexed by block number. Disk images
+	// are large (millions of blocks) but mappings cluster, so a flat array
+	// would waste memory while a map costs a hash per fault-path probe;
+	// 512-entry chunks keep probes at two indexed loads.
+	mappings []*mapChunk
+	// mapped counts the blocks that ever received a mapping. It mirrors
+	// the historical owner-map semantics (entries were never deleted), which
+	// fig13's "tracked" column depends on: a block whose chain empties still
+	// counts.
+	mapped int
 
 	// readahead state (host-side, per file, Linux-style window doubling).
 	raNextBlock int64 // block that would continue the current stream
 	raWindow    int   // current window in pages
+}
+
+const (
+	fileChunkBits = 9
+	fileChunkSize = 1 << fileChunkBits
+	fileChunkMask = fileChunkSize - 1
+)
+
+type mapChunk struct {
+	head [fileChunkSize]*Page
+	// ever marks blocks that ever held a mapping (see File.mapped).
+	ever [fileChunkSize / 64]uint64
 }
 
 // NewFile returns a file over the region.
@@ -32,8 +53,29 @@ func NewFile(name string, region disk.Region) *File {
 	return &File{
 		Name:     name,
 		Region:   region,
-		mappings: make(map[int64]*Page),
+		mappings: make([]*mapChunk, (region.Blocks+fileChunkMask)>>fileChunkBits),
 	}
+}
+
+// head returns the chain head for block, or nil.
+func (f *File) head(block int64) *Page {
+	c := f.mappings[block>>fileChunkBits]
+	if c == nil {
+		return nil
+	}
+	return c.head[block&fileChunkMask]
+}
+
+// headSlot returns a pointer to the chain-head slot for block, allocating
+// its chunk if needed.
+func (f *File) headSlot(block int64) **Page {
+	ci := block >> fileChunkBits
+	c := f.mappings[ci]
+	if c == nil {
+		c = new(mapChunk)
+		f.mappings[ci] = c
+	}
+	return &c.head[block&fileChunkMask]
 }
 
 // Blocks reports the file length in 4 KiB blocks.
@@ -49,16 +91,26 @@ func (f *File) AddMapping(pg *Page) {
 		panic("hostmm: AddMapping with foreign backing")
 	}
 	b := pg.Backing.Block
-	pg.nextMapping = f.mappings[b]
-	f.mappings[b] = pg
+	c := f.mappings[b>>fileChunkBits]
+	if c == nil {
+		c = new(mapChunk)
+		f.mappings[b>>fileChunkBits] = c
+	}
+	idx := b & fileChunkMask
+	if c.ever[idx>>6]&(1<<(idx&63)) == 0 {
+		c.ever[idx>>6] |= 1 << (idx & 63)
+		f.mapped++
+	}
+	pg.nextMapping = c.head[idx]
+	c.head[idx] = pg
 }
 
 // RemoveMapping unlinks pg from its backing block's chain.
 func (f *File) RemoveMapping(pg *Page) {
-	b := pg.Backing.Block
-	cur := f.mappings[b]
+	slot := f.headSlot(pg.Backing.Block)
+	cur := *slot
 	if cur == pg {
-		f.mappings[b] = pg.nextMapping
+		*slot = pg.nextMapping
 		pg.nextMapping = nil
 		return
 	}
@@ -73,11 +125,11 @@ func (f *File) RemoveMapping(pg *Page) {
 }
 
 // MappingAt returns the most recent page mapping the block, or nil.
-func (f *File) MappingAt(block int64) *Page { return f.mappings[block] }
+func (f *File) MappingAt(block int64) *Page { return f.head(block) }
 
 // EachMapping calls fn for every page currently mapping the block.
 func (f *File) EachMapping(block int64, fn func(*Page)) {
-	for pg := f.mappings[block]; pg != nil; {
+	for pg := f.head(block); pg != nil; {
 		next := pg.nextMapping // fn may unlink pg
 		fn(pg)
 		pg = next
@@ -87,7 +139,7 @@ func (f *File) EachMapping(block int64, fn func(*Page)) {
 // CachedResident reports whether some resident page holds the block's
 // content (i.e. the block is effectively in the host page cache).
 func (f *File) CachedResident(block int64) bool {
-	for pg := f.mappings[block]; pg != nil; pg = pg.nextMapping {
+	for pg := f.head(block); pg != nil; pg = pg.nextMapping {
 		if pg.State == ResidentFile {
 			return true
 		}
@@ -95,8 +147,8 @@ func (f *File) CachedResident(block int64) bool {
 	return false
 }
 
-// MappedBlocks reports the number of blocks with at least one mapping.
-func (f *File) MappedBlocks() int { return len(f.mappings) }
+// MappedBlocks reports the number of blocks that ever held a mapping.
+func (f *File) MappedBlocks() int { return f.mapped }
 
 // readaheadWindow updates the per-file sequential-readahead state for a
 // demand access at `block` and returns how many blocks (including the

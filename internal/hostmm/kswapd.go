@@ -28,12 +28,32 @@ func DefaultKswapdConfig() KswapdConfig {
 	}
 }
 
+// withDefaults fills every unset (zero) field independently, so a caller
+// overriding just the interval still gets the default watermarks (and vice
+// versa) instead of zeroed ones.
+func (cfg KswapdConfig) withDefaults() KswapdConfig {
+	def := DefaultKswapdConfig()
+	if cfg.Interval == 0 {
+		cfg.Interval = def.Interval
+	}
+	if cfg.LowFrac == 0 {
+		cfg.LowFrac = def.LowFrac
+	}
+	if cfg.HighFrac == 0 {
+		cfg.HighFrac = def.HighFrac
+	}
+	return cfg
+}
+
 // StartKswapd launches the background reclaimer; call the returned stop
 // function to let the simulation drain.
+//
+// Stop takes effect at the daemon's next yield point: it interrupts the
+// inter-scan sleep (rather than letting a full interval elapse) and is
+// re-checked between reclaim batches, so drain time is bounded by one
+// batch, not by Interval.
 func (m *Manager) StartKswapd(cfg KswapdConfig) (stop func()) {
-	if cfg.Interval == 0 {
-		cfg = DefaultKswapdConfig()
-	}
+	cfg = cfg.withDefaults()
 	low := int(float64(m.Pool.Capacity()) * cfg.LowFrac)
 	high := int(float64(m.Pool.Capacity()) * cfg.HighFrac)
 	if low < 64 {
@@ -43,6 +63,7 @@ func (m *Manager) StartKswapd(cfg KswapdConfig) (stop func()) {
 		high = low * 2
 	}
 	done := false
+	stopSig := sim.NewSignal(m.Env)
 	m.Env.Go("kswapd", func(p *sim.Proc) {
 		for !done {
 			if m.Pool.Free() < low {
@@ -58,8 +79,17 @@ func (m *Manager) StartKswapd(cfg KswapdConfig) (stop func()) {
 					}
 				}
 			}
-			p.Sleep(cfg.Interval)
+			if done {
+				break
+			}
+			stopSig.WaitTimeout(p, cfg.Interval)
 		}
 	})
-	return func() { done = true }
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		stopSig.Broadcast()
+	}
 }

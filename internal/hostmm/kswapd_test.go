@@ -63,6 +63,68 @@ func TestKswapdStops(t *testing.T) {
 	}
 }
 
+// TestKswapdPartialConfigDefaults locks the per-field defaulting: a caller
+// overriding one knob must still get defaults for the others. (The old
+// code replaced the whole struct only when Interval was zero, so a config
+// setting just LowFrac silently ran with a zero interval, and one setting
+// just Interval ran with zero watermarks.)
+func TestKswapdPartialConfigDefaults(t *testing.T) {
+	def := DefaultKswapdConfig()
+	got := (KswapdConfig{Interval: 7 * sim.Millisecond}).withDefaults()
+	if got.Interval != 7*sim.Millisecond {
+		t.Fatalf("explicit interval overwritten: %v", got.Interval)
+	}
+	if got.LowFrac != def.LowFrac || got.HighFrac != def.HighFrac {
+		t.Fatalf("watermarks not defaulted: low=%v high=%v", got.LowFrac, got.HighFrac)
+	}
+	got = (KswapdConfig{LowFrac: 0.25}).withDefaults()
+	if got.LowFrac != 0.25 {
+		t.Fatalf("explicit LowFrac overwritten: %v", got.LowFrac)
+	}
+	if got.Interval != def.Interval || got.HighFrac != def.HighFrac {
+		t.Fatalf("unset fields not defaulted: interval=%v high=%v", got.Interval, got.HighFrac)
+	}
+	if got := (KswapdConfig{}).withDefaults(); got != def {
+		t.Fatalf("zero config = %+v, want full defaults %+v", got, def)
+	}
+}
+
+// TestKswapdStopInterruptsSleep pins the drain contract of stop(): the
+// daemon leaves its inter-scan sleep at the moment stop is called (next
+// yield point) and never scans again, while the already-scheduled wakeup
+// still fires as a no-op so the run's final virtual time is identical to
+// the uninterrupted schedule — report phase totals must not depend on when
+// shutdown lands inside the interval.
+func TestKswapdStopInterruptsSleep(t *testing.T) {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	dev := disk.NewDevice(env, disk.Constellation7200(), met)
+	layout := disk.NewLayout(disk.Constellation7200().TotalBlocks)
+	swap := NewSwapArea(layout.Reserve("swap", 1024))
+	pool := mem.NewFramePool(1000)
+	mgr := NewManager(env, met, dev, pool, swap, Config{})
+	cg := mgr.NewCgroup("vm", 0)
+
+	stop := mgr.StartKswapd(KswapdConfig{Interval: 10 * sim.Second})
+	env.Go("driver", func(p *sim.Proc) {
+		p.Sleep(sim.Second)
+		stop() // interrupts the sleep that would otherwise run to 10s
+		// Pressure arriving after stop must not be background-reclaimed:
+		// the daemon is already gone, not dozing until its next wakeup.
+		for i := 0; i < 950; i++ {
+			pg := mgr.NewPage(cg, i)
+			mgr.FirstTouch(p, pg, GuestCtx)
+		}
+	})
+	end := env.Run()
+	if got := met.Get(metrics.HostPagesScanned); got != 0 {
+		t.Fatalf("kswapd scanned %d pages after stop", got)
+	}
+	if end != sim.Time(10*sim.Second) {
+		t.Fatalf("run ended at %v, want 10s: the stale wakeup must still fire as a no-op", end)
+	}
+}
+
 func TestSSDModelFlatLatency(t *testing.T) {
 	m := disk.SSD840()
 	near := m.Service(1000, 1001, 8)

@@ -133,6 +133,94 @@ type Manager struct {
 	pageSlab []Page
 	// signalPool recycles fault-serialization signals.
 	signalPool []*sim.Signal
+
+	// c holds pre-resolved counter and histogram handles for the fault and
+	// reclaim fast paths: one map lookup each at construction instead of a
+	// string hash per fault.
+	c hotMetrics
+
+	// Scratch buffers reused across reclaim passes and swap-in faults;
+	// buffers held across a blocking point come from swapInScratch so
+	// interleaved faults never share one.
+	swapWritesScratch []int64
+	swapInScratch     []*swapInBufs
+}
+
+// hotMetrics caches handles for every metric the per-fault and per-reclaim
+// paths touch.
+type hotMetrics struct {
+	faultsInGuest, majorInGuest, faultsInHost   *metrics.Counter
+	majorFaults, minorFaults, timeHostFault     *metrics.Counter
+	swapReadOps, swapReadSectors                *metrics.Counter
+	swapWriteOps, swapWriteSectors              *metrics.Counter
+	imageReadSectors                            *metrics.Counter
+	hostSwapIns, hostSwapOuts                   *metrics.Counter
+	hostSwapPrefetched, hostFilePrefetched      *metrics.Counter
+	hostPrefetchHits, hostCOWBreaks             *metrics.Counter
+	pagesScanned, pagesReclaimed, fileDiscards  *metrics.Counter
+	silentSwapWrites, timeReclaimScan           *metrics.Counter
+	balloonInflate, balloonDeflate              *metrics.Counter
+	faultSwapInRetries, faultSwapInPoisoned     *metrics.Counter
+	histFaultMinor, histFaultMajor, histBackoff *metrics.Histogram
+}
+
+func newHotMetrics(met *metrics.Set) hotMetrics {
+	return hotMetrics{
+		faultsInGuest:       met.Counter(metrics.HostFaultsInGuest),
+		majorInGuest:        met.Counter(metrics.HostMajorInGuest),
+		faultsInHost:        met.Counter(metrics.HostFaultsInHost),
+		majorFaults:         met.Counter(metrics.HostMajorFaults),
+		minorFaults:         met.Counter(metrics.HostMinorFaults),
+		timeHostFault:       met.Counter(metrics.TimeHostFault),
+		swapReadOps:         met.Counter(metrics.SwapReadOps),
+		swapReadSectors:     met.Counter(metrics.SwapReadSectors),
+		swapWriteOps:        met.Counter(metrics.SwapWriteOps),
+		swapWriteSectors:    met.Counter(metrics.SwapWriteSectors),
+		imageReadSectors:    met.Counter(metrics.ImageReadSectors),
+		hostSwapIns:         met.Counter(metrics.HostSwapIns),
+		hostSwapOuts:        met.Counter(metrics.HostSwapOuts),
+		hostSwapPrefetched:  met.Counter(metrics.HostSwapPrefetched),
+		hostFilePrefetched:  met.Counter(metrics.HostFilePrefetched),
+		hostPrefetchHits:    met.Counter(metrics.HostPrefetchHits),
+		hostCOWBreaks:       met.Counter(metrics.HostCOWBreaks),
+		pagesScanned:        met.Counter(metrics.HostPagesScanned),
+		pagesReclaimed:      met.Counter(metrics.HostPagesReclaimed),
+		fileDiscards:        met.Counter(metrics.HostFileDiscards),
+		silentSwapWrites:    met.Counter(metrics.SilentSwapWrites),
+		timeReclaimScan:     met.Counter(metrics.TimeReclaimScan),
+		balloonInflate:      met.Counter(metrics.BalloonInflatePages),
+		balloonDeflate:      met.Counter(metrics.BalloonDeflatePages),
+		faultSwapInRetries:  met.Counter(metrics.FaultSwapInRetries),
+		faultSwapInPoisoned: met.Counter(metrics.FaultSwapInPoisoned),
+		histFaultMinor:      met.Histogram(metrics.HistFaultMinor),
+		histFaultMajor:      met.Histogram(metrics.HistFaultMajor),
+		histBackoff:         met.Histogram(metrics.HistFaultBackoff),
+	}
+}
+
+// swapInBufs is the per-fault scratch a swap-in holds across its blocking
+// points (disk reads, reclaim): recycled through Manager.swapInScratch.
+type swapInBufs struct {
+	ioSlots []int64
+	pinned  []*Page
+}
+
+func (m *Manager) getSwapInBufs() *swapInBufs {
+	if n := len(m.swapInScratch); n > 0 {
+		b := m.swapInScratch[n-1]
+		m.swapInScratch = m.swapInScratch[:n-1]
+		return b
+	}
+	return &swapInBufs{}
+}
+
+func (m *Manager) putSwapInBufs(b *swapInBufs) {
+	b.ioSlots = b.ioSlots[:0]
+	for i := range b.pinned {
+		b.pinned[i] = nil
+	}
+	b.pinned = b.pinned[:0]
+	m.swapInScratch = append(m.swapInScratch, b)
 }
 
 // NewManager assembles a host MM over the given device, frame pool and
@@ -145,6 +233,7 @@ func NewManager(env *sim.Env, met *metrics.Set, dev *disk.Device, pool *mem.Fram
 		Pool: pool,
 		Swap: swap,
 		Cfg:  cfg.withDefaults(),
+		c:    newHotMetrics(met),
 	}
 }
 
@@ -296,7 +385,10 @@ func (m *Manager) largestCgroup() *Cgroup {
 func (m *Manager) reclaim(p *sim.Proc, cg *Cgroup, target int) int {
 	freed := 0
 	scanned := 0
-	var swapWrites []int64 // slots to write, coalesced at the end
+	// Slots to write, coalesced at the end. Reclaim never blocks while
+	// appending (all sleeps happen after submission), so one manager-level
+	// scratch buffer is safe to reuse across every pass.
+	swapWrites := m.swapWritesScratch[:0]
 
 	// Drop lazily-freed COW sources first: free, but they cost scan work.
 	for freed < target {
@@ -377,15 +469,18 @@ func (m *Manager) reclaim(p *sim.Proc, cg *Cgroup, target int) int {
 		}
 	}
 
-	m.Met.Add(metrics.HostPagesScanned, int64(scanned))
-	m.Trace.Add(m.Env.Now(), trace.Reclaim, "cg=%s freed=%d scanned=%d swapwrites=%d",
-		cg.Name, freed, scanned, len(swapWrites))
+	m.c.pagesScanned.Add(int64(scanned))
+	if m.Trace.Recording(trace.Reclaim) {
+		m.Trace.Add(m.Env.Now(), trace.Reclaim, "cg=%s freed=%d scanned=%d swapwrites=%d",
+			cg.Name, freed, scanned, len(swapWrites))
+	}
 	if len(swapWrites) > 0 {
 		m.submitSwapWrites(swapWrites)
 	}
+	m.swapWritesScratch = swapWrites[:0]
 	if p != nil && scanned > 0 {
 		scanTime := sim.Duration(scanned) * m.Cfg.PageScanCost
-		m.Met.Add(metrics.TimeReclaimScan, int64(scanTime))
+		m.c.timeReclaimScan.Add(int64(scanTime))
 		p.Sleep(scanTime)
 	}
 	// Writeback congestion: don't let a reclaimer run ahead of the disk
@@ -424,8 +519,8 @@ func (m *Manager) scanList(list *pageList, cg *Cgroup, target int, scanned *int,
 			pg.State = FileNonResident
 			pg.EPT = false
 			m.unchargeFrame(cg)
-			m.Met.Inc(metrics.HostFileDiscards)
-			m.Met.Inc(metrics.HostPagesReclaimed)
+			m.c.fileDiscards.Inc()
+			m.c.pagesReclaimed.Inc()
 			freed++
 		case ResidentAnon:
 			if !pg.Dirty && !m.swapCacheValid(pg) {
@@ -452,9 +547,9 @@ func (m *Manager) scanList(list *pageList, cg *Cgroup, target int, scanned *int,
 					pg.SwapSlot = slot
 				}
 				*swapWrites = append(*swapWrites, slot)
-				m.Met.Inc(metrics.HostSwapOuts)
+				m.c.hostSwapOuts.Inc()
 				if pg.TruthClean {
-					m.Met.Inc(metrics.SilentSwapWrites)
+					m.c.silentSwapWrites.Inc()
 				}
 			}
 			list.remove(pg)
@@ -462,7 +557,7 @@ func (m *Manager) scanList(list *pageList, cg *Cgroup, target int, scanned *int,
 			pg.EPT = false
 			pg.Dirty = false
 			m.unchargeFrame(cg)
-			m.Met.Inc(metrics.HostPagesReclaimed)
+			m.c.pagesReclaimed.Inc()
 			freed++
 		default:
 			panic(fmt.Sprintf("hostmm: %s page on LRU", pg.State))
@@ -486,8 +581,8 @@ func (m *Manager) submitSwapWrites(slots []int64) {
 		}
 		run := slots[start:i]
 		m.Dev.Submit(disk.Write, m.Swap.Phys(run[0]), len(run))
-		m.Met.Add(metrics.SwapWriteSectors, int64(len(run))*disk.SectorsPerBlock)
-		m.Met.Inc(metrics.SwapWriteOps)
+		m.c.swapWriteSectors.Add(int64(len(run)) * disk.SectorsPerBlock)
+		m.c.swapWriteOps.Inc()
 		start = i
 	}
 }

@@ -140,6 +140,43 @@ func (m *Manager) BeginEmulation(pg *Page) {
 	}
 }
 
+// RemapOverwrite absorbs a guaranteed full-page overwrite of a
+// non-resident page without ever buffering it: the frame is charged (which
+// can block in direct reclaim) while the page still holds its non-resident
+// state, so concurrent faulters never observe an Emulated page with no
+// emulation buffer attached. It reports false when the page left that
+// state while the charge blocked — a concurrent fault resolved it first —
+// and the caller must retry against the new state.
+func (m *Manager) RemapOverwrite(p *sim.Proc, pg *Page) bool {
+	st := pg.State
+	if st != SwappedOut && st != FileNonResident {
+		panic(fmt.Sprintf("hostmm: RemapOverwrite on %s page", pg.State))
+	}
+	m.chargeFrames(p, pg.Owner, 1)
+	if pg.State != st {
+		m.unchargeFrame(pg.Owner)
+		return false
+	}
+	if pg.Backing.Valid() {
+		pg.Backing.File.RemoveMapping(pg)
+		pg.Backing = BlockRef{}
+	}
+	if pg.SwapSlot >= 0 {
+		m.Swap.Free(pg.SwapSlot)
+		pg.SwapSlot = -1
+	}
+	pg.State = ResidentAnon
+	pg.Dirty = true
+	pg.EPT = true
+	pg.Referenced = true
+	pg.TruthClean = false
+	pg.TruthBlock = BlockRef{}
+	pg.Emu = nil
+	pg.Owner.activeAnon.pushFront(pg)
+	m.Met.Inc(metrics.PreventerRemaps)
+	return true
+}
+
 // EmulationRemap completes emulation for a fully-overwritten page: the
 // write buffer becomes the page, old content is dropped unread.
 func (m *Manager) EmulationRemap(p *sim.Proc, pg *Page) {

@@ -27,8 +27,11 @@ type SwapArea struct {
 	scanFailed  bool  // no free cluster exists until enough slots free up
 	freesSince  int   // slots freed since the last failed cluster scan
 
-	// owner maps an allocated slot to the page whose content it holds.
-	owner map[int64]*Page
+	// owner records, per slot, the page whose content the slot holds (nil
+	// when free). A dense slice: slots are a small, fixed keyspace and the
+	// fault path reads ownership for every slot of a readahead cluster, so
+	// this must be an indexed load, not a hashed map probe.
+	owner []*Page
 }
 
 // SlotsPerCluster mirrors Linux's SWAPFILE_CLUSTER.
@@ -39,7 +42,7 @@ func NewSwapArea(region disk.Region) *SwapArea {
 	s := &SwapArea{
 		region: region,
 		free:   make([]bool, region.Blocks),
-		owner:  make(map[int64]*Page),
+		owner:  make([]*Page, region.Blocks),
 		next:   -1,
 	}
 	for i := range s.free {
@@ -138,13 +141,25 @@ func (s *SwapArea) Free(slot int64) {
 		s.hint = slot
 	}
 	s.inUse--
-	delete(s.owner, slot)
+	s.owner[slot] = nil
 	if s.scanFailed {
 		s.freesSince++
 		if s.freesSince >= SlotsPerCluster {
 			s.scanFailed = false // a cluster may exist again; rescan
 		}
 	}
+}
+
+// ownedSlots counts the slots with a recorded owner (used by tests and the
+// audit to cross-check the allocator's in-use count).
+func (s *SwapArea) ownedSlots() int {
+	n := 0
+	for _, pg := range s.owner {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // fragmented reports whether no whole free cluster remains (used by tests
@@ -164,8 +179,12 @@ func (s *SwapArea) fragmented() bool {
 	return true
 }
 
-// Owner returns the page stored at slot, or nil if the slot is free.
+// Owner returns the page stored at slot, or nil if the slot is free or out
+// of range.
 func (s *SwapArea) Owner(slot int64) *Page {
+	if slot < 0 || slot >= int64(len(s.owner)) {
+		return nil
+	}
 	return s.owner[slot]
 }
 
@@ -178,19 +197,24 @@ func (s *SwapArea) Phys(slot int64) int64 { return s.region.Phys(slot) }
 // ascending order, always including `slot`) grouped into maximal
 // disk-contiguous runs by the caller.
 func (s *SwapArea) ClusterRun(slot int64, cluster int) []int64 {
+	return s.AppendClusterRun(nil, slot, cluster)
+}
+
+// AppendClusterRun is ClusterRun appending into dst (reusing its capacity),
+// for callers that recycle the slot buffer across faults.
+func (s *SwapArea) AppendClusterRun(dst []int64, slot int64, cluster int) []int64 {
 	if cluster <= 1 {
-		return []int64{slot}
+		return append(dst, slot)
 	}
 	base := slot - slot%int64(cluster)
 	end := base + int64(cluster)
 	if end > s.region.Blocks {
 		end = s.region.Blocks
 	}
-	out := make([]int64, 0, cluster)
 	for i := base; i < end; i++ {
 		if !s.free[i] {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }

@@ -165,9 +165,10 @@ func (vm *VM) DiskRead(p *sim.Proc, gfns []int, start int64) {
 	mm := vm.M.MM
 	met := vm.M.Met
 
-	pages := make([]*hostmm.Page, len(gfns))
-	for i, g := range gfns {
-		pages[i] = vm.page(g)
+	pages := vm.getPageBuf()
+	defer func() { vm.putPageBuf(pages) }()
+	for _, g := range gfns {
+		pages = append(pages, vm.page(g))
 	}
 
 	useMapper := vm.Mapper != nil && !vm.Cfg.UnalignedGuestIO
@@ -267,9 +268,10 @@ func (vm *VM) DiskWrite(p *sim.Proc, gfns []int, start int64) {
 	mm := vm.M.MM
 	met := vm.M.Met
 
-	pages := make([]*hostmm.Page, len(gfns))
-	for i, g := range gfns {
-		pages[i] = vm.page(g)
+	pages := vm.getPageBuf()
+	defer func() { vm.putPageBuf(pages) }()
+	for _, g := range gfns {
+		pages = append(pages, vm.page(g))
 	}
 
 	// QEMU must read the source frames: fault any the host reclaimed

@@ -105,6 +105,27 @@ type VM struct {
 	Preventer *core.Preventer
 
 	faultLock *sim.Resource // serializes faults for non-APF guests
+
+	// pageBufs is a freelist of request-page buffers for DiskRead/DiskWrite.
+	// A buffer stays checked out across the blocking device wait, and guest
+	// threads interleave at blocking points, so concurrent requests need
+	// distinct buffers.
+	pageBufs [][]*hostmm.Page
+}
+
+// getPageBuf checks out an empty page buffer; append to it and return it
+// through putPageBuf once the request no longer references it.
+func (vm *VM) getPageBuf() []*hostmm.Page {
+	if n := len(vm.pageBufs); n > 0 {
+		b := vm.pageBufs[n-1]
+		vm.pageBufs = vm.pageBufs[:n-1]
+		return b
+	}
+	return make([]*hostmm.Page, 0, virtioMaxBlocks)
+}
+
+func (vm *VM) putPageBuf(b []*hostmm.Page) {
+	vm.pageBufs = append(vm.pageBufs, b[:0])
 }
 
 // NewVM creates a guest on the machine. Boot it with BootVM (inside a

@@ -105,7 +105,7 @@ const (
 // Set is a bag of named counters plus optional time series and latency
 // histograms. The zero value is not usable; create one with NewSet.
 type Set struct {
-	counters map[string]int64
+	counters map[string]*Counter
 	series   map[string]*Series
 	hists    map[string]*Histogram
 }
@@ -113,35 +113,70 @@ type Set struct {
 // NewSet returns an empty metric set.
 func NewSet() *Set {
 	return &Set{
-		counters: make(map[string]int64),
+		counters: make(map[string]*Counter),
 		series:   make(map[string]*Series),
 		hists:    make(map[string]*Histogram),
 	}
 }
 
+// Counter is a direct handle on one named counter. Hot paths resolve the
+// handle once (one map lookup at construction time) and then update it
+// with plain integer arithmetic — no string hashing, no allocation.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the counter's current value.
+func (c *Counter) Value() int64 { return c.v }
+
+// Counter returns (creating if needed) a handle on the named counter.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		s.counters[name] = c
+	}
+	return c
+}
+
 // Add increments counter name by delta.
 func (s *Set) Add(name string, delta int64) {
-	s.counters[name] += delta
+	s.Counter(name).v += delta
 }
 
 // Inc increments counter name by one.
 func (s *Set) Inc(name string) { s.Add(name, 1) }
 
 // Get returns the current value of counter name (zero if never written).
-func (s *Set) Get(name string) int64 { return s.counters[name] }
+func (s *Set) Get(name string) int64 {
+	if c, ok := s.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
 
 // Reset zeroes every counter but keeps time series intact.
 func (s *Set) Reset() {
-	for k := range s.counters {
-		s.counters[k] = 0
+	for _, c := range s.counters {
+		c.v = 0
 	}
 }
 
 // Snapshot returns a copy of all counters, e.g. to diff across phases.
 func (s *Set) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	for k, c := range s.counters {
+		out[k] = c.v
 	}
 	return out
 }
@@ -149,8 +184,8 @@ func (s *Set) Snapshot() map[string]int64 {
 // Diff returns counter deltas since the given snapshot.
 func (s *Set) Diff(since map[string]int64) map[string]int64 {
 	out := make(map[string]int64)
-	for k, v := range s.counters {
-		if d := v - since[k]; d != 0 {
+	for k, c := range s.counters {
+		if d := c.v - since[k]; d != 0 {
 			out[k] = d
 		}
 	}
@@ -170,15 +205,15 @@ func (s *Set) Series(name string) *Series {
 // String renders the non-zero counters sorted by name, one per line.
 func (s *Set) String() string {
 	names := make([]string, 0, len(s.counters))
-	for k, v := range s.counters {
-		if v != 0 {
+	for k, c := range s.counters {
+		if c.v != 0 {
 			names = append(names, k)
 		}
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, k := range names {
-		fmt.Fprintf(&b, "%-32s %12d\n", k, s.counters[k])
+		fmt.Fprintf(&b, "%-32s %12d\n", k, s.counters[k].v)
 	}
 	return b.String()
 }

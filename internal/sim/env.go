@@ -1,37 +1,28 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"time"
 )
 
-// event is a single scheduled callback.
+// event is a single scheduled occurrence: either a callback (fn) or the
+// wakeup of a blocked process (proc). Splitting the two cases lets the
+// scheduler dispatch process wakeups — by far the common case — without
+// allocating a closure per Sleep/Broadcast/Release.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among simultaneous events
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders the heap by (time, insertion sequence).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Env is a discrete-event simulation environment. It owns the virtual
@@ -40,13 +31,20 @@ func (h *eventHeap) Pop() interface{} {
 // at a time, which is what makes runs deterministic.
 type Env struct {
 	now    Time
-	events eventHeap
+	events []*event // binary min-heap ordered by eventLess
+	free   []*event // recycled event objects
 	seq    uint64
 	rng    *RNG
 
 	liveProcs int
 	blocked   int // procs waiting on a Signal (not a timer)
 	procPanic interface{}
+
+	// running/deadline mirror the active RunUntil call so that Sleep can
+	// advance the clock inline (see Proc.Sleep) without overshooting the
+	// caller's deadline.
+	running  bool
+	deadline Time
 
 	// afterEvent, when set, runs after every completed event callback. The
 	// invariant-audit harness hooks here in test mode; it must not mutate
@@ -76,14 +74,84 @@ func (e *Env) Now() Time { return e.now }
 // Rand returns the environment's deterministic PRNG.
 func (e *Env) Rand() *RNG { return e.rng }
 
+// newEvent takes an event object from the pool (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Env) newEvent(at Time, fn func(), p *Proc) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	e.seq++
+	ev.at, ev.seq, ev.fn, ev.proc = at, e.seq, fn, p
+	return ev
+}
+
+// recycle returns a dequeued event to the pool. Callers must have copied
+// out any field they still need.
+func (e *Env) recycle(ev *event) {
+	ev.fn, ev.proc = nil, nil
+	e.free = append(e.free, ev)
+}
+
+// push inserts ev into the heap.
+func (e *Env) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (e *Env) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			least = r
+		}
+		if !eventLess(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
 // Schedule arranges for fn to run after delay d. Callbacks run on the
 // scheduler itself, so they must not block; use Go for blocking logic.
 func (e *Env) Schedule(d Duration, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+	e.push(e.newEvent(e.now.Add(d), fn, nil))
+}
+
+// scheduleProc arranges for p to be dispatched after delay d, without the
+// closure a Schedule would cost.
+func (e *Env) scheduleProc(d Duration, p *Proc) {
+	e.push(e.newEvent(e.now.Add(d), nil, p))
 }
 
 // ScheduleAt arranges for fn to run at absolute time t (not before now).
@@ -104,20 +172,29 @@ func (e *Env) Run() Time {
 // RunUntil drives the simulation until the event queue is empty or the next
 // event would fire after the deadline. Events exactly at the deadline run.
 func (e *Env) RunUntil(deadline Time) Time {
+	e.running = true
+	e.deadline = deadline
+	defer func() { e.running = false }()
 	for len(e.events) > 0 {
 		next := e.events[0]
 		if next.at > deadline {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.events)
+		e.pop()
 		if next.at < e.now {
 			panic("sim: time went backwards")
 		}
 		advanced := next.at > e.now
 		e.now = next.at
+		fn, p := next.fn, next.proc
+		e.recycle(next)
 		e.noteEvent(advanced)
-		next.fn()
+		if p != nil {
+			p.dispatch()
+		} else {
+			fn()
+		}
 		if e.afterEvent != nil {
 			e.afterEvent()
 		}
@@ -164,9 +241,16 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		<-p.resume // wait for first dispatch
 		defer func() {
 			// A panic in a process must surface on the scheduler instead
-			// of deadlocking the handshake.
+			// of deadlocking the handshake. Watchdog breaches stay typed
+			// (*BudgetError) so the experiment layer classifies them the
+			// same whether they fired on the scheduler or — via the inline
+			// Sleep fast path — on a process goroutine.
 			if r := recover(); r != nil {
-				e.procPanic = fmt.Sprintf("%v\n\nprocess goroutine stack:\n%s", r, debug.Stack())
+				if be, ok := r.(*BudgetError); ok {
+					e.procPanic = be
+				} else {
+					e.procPanic = fmt.Sprintf("%v\n\nprocess goroutine stack:\n%s", r, debug.Stack())
+				}
 			}
 			p.dead = true
 			e.liveProcs--
@@ -174,7 +258,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(0, func() { p.dispatch() })
+	e.scheduleProc(0, p)
 	return p
 }
 
@@ -197,11 +281,33 @@ func (p *Proc) block() {
 }
 
 // Sleep suspends the process for virtual duration d.
+//
+// Fast path: when the wakeup would be the very next event processed — no
+// pending event fires at or before it — handing control back to the
+// scheduler is pure overhead (two channel handshakes and a heap cycle), so
+// the clock advances inline and the process keeps running. The observable
+// sequence is bit-identical to the queued path: the skipped wakeup is still
+// counted and budget-checked by noteEvent, the current event's afterEvent
+// hook still runs first, and no other event could have run in between
+// (nothing is queued in the window, and nothing can be scheduled into it
+// because no other code runs).
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.env.Schedule(d, func() { p.dispatch() })
+	e := p.env
+	wake := e.now.Add(d)
+	if e.running && wake <= e.deadline &&
+		(len(e.events) == 0 || wake < e.events[0].at) {
+		if e.afterEvent != nil {
+			e.afterEvent()
+		}
+		advanced := wake > e.now
+		e.now = wake
+		e.noteEvent(advanced)
+		return
+	}
+	e.scheduleProc(d, p)
 	p.block()
 }
 
@@ -219,6 +325,15 @@ func (p *Proc) SleepUntil(t Time) {
 type Signal struct {
 	env     *Env
 	waiters []*Proc
+	timed   []*timedWait
+}
+
+// timedWait tracks one WaitTimeout waiter: whoever resolves it first —
+// Broadcast or the timer — sets done.
+type timedWait struct {
+	proc    *Proc
+	done    bool
+	expired bool
 }
 
 // NewSignal returns a signal bound to env.
@@ -231,17 +346,52 @@ func (s *Signal) Wait(p *Proc) {
 	p.block()
 }
 
+// WaitTimeout suspends p until the next Broadcast or until d elapses,
+// whichever comes first, and reports whether the signal fired. The timer
+// event always runs — as a no-op when the waiter was already woken — so
+// the run's final virtual time does not depend on which path won.
+func (s *Signal) WaitTimeout(p *Proc, d Duration) (signaled bool) {
+	w := &timedWait{proc: p}
+	s.timed = append(s.timed, w)
+	e := s.env
+	e.blocked++
+	e.Schedule(d, func() {
+		if w.done {
+			return
+		}
+		w.done = true
+		w.expired = true
+		for i, x := range s.timed {
+			if x == w {
+				s.timed = append(s.timed[:i], s.timed[i+1:]...)
+				break
+			}
+		}
+		e.blocked--
+		p.dispatch()
+	})
+	p.block()
+	return !w.expired
+}
+
 // Broadcast wakes every process currently waiting on the signal. Waiters
-// resume in the order they began waiting, at the current virtual time.
+// resume in the order they began waiting, at the current virtual time;
+// plain waiters first, then timed waiters.
 func (s *Signal) Broadcast() {
 	waiters := s.waiters
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
 	for _, w := range waiters {
-		w := w
 		s.env.blocked--
-		s.env.Schedule(0, func() { w.dispatch() })
+		s.env.scheduleProc(0, w)
+	}
+	timed := s.timed
+	s.timed = s.timed[:0]
+	for _, w := range timed {
+		w.done = true
+		s.env.blocked--
+		s.env.scheduleProc(0, w.proc)
 	}
 }
 
 // Pending reports how many processes are waiting on the signal.
-func (s *Signal) Pending() int { return len(s.waiters) }
+func (s *Signal) Pending() int { return len(s.waiters) + len(s.timed) }

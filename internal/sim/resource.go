@@ -52,7 +52,7 @@ func (r *Resource) Release() {
 		copy(r.queue, r.queue[1:])
 		r.queue = r.queue[:len(r.queue)-1]
 		r.env.blocked--
-		r.env.Schedule(0, func() { next.dispatch() })
+		r.env.scheduleProc(0, next)
 		return // unit handed over, inUse unchanged
 	}
 	r.inUse--

@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+// TestWaitTimeoutSignaledEarly pins the drain behavior WaitTimeout exists
+// for: a broadcast mid-wait resumes the waiter at the broadcast time, not
+// at the end of the interval, while the pending timer still fires as a
+// no-op so the run's final clock is identical to an uninterrupted wait.
+func TestWaitTimeoutSignaledEarly(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	var resumed Time
+	var signaled bool
+	env.Go("waiter", func(p *Proc) {
+		signaled = sig.WaitTimeout(p, 10*Second)
+		resumed = p.Now()
+	})
+	env.Go("caller", func(p *Proc) {
+		p.Sleep(Second)
+		sig.Broadcast()
+	})
+	end := env.Run()
+	if !signaled {
+		t.Fatal("broadcast arrived first; WaitTimeout must report signaled")
+	}
+	if resumed != Time(Second) {
+		t.Fatalf("waiter resumed at %v, want 1s (the broadcast time)", resumed)
+	}
+	if end != Time(10*Second) {
+		t.Fatalf("run ended at %v, want 10s: the timer must still fire as a no-op", end)
+	}
+	if sig.Pending() != 0 {
+		t.Fatalf("signal still tracks %d waiters", sig.Pending())
+	}
+}
+
+// TestWaitTimeoutExpires covers the other resolution: no broadcast, the
+// timer wins, and the waiter is removed from the signal's queue so a later
+// Broadcast cannot double-wake it.
+func TestWaitTimeoutExpires(t *testing.T) {
+	env := NewEnv(1)
+	sig := NewSignal(env)
+	var resumed Time
+	var signaled bool
+	env.Go("waiter", func(p *Proc) {
+		signaled = sig.WaitTimeout(p, 2*Second)
+		resumed = p.Now()
+	})
+	end := env.Run()
+	if signaled {
+		t.Fatal("nothing broadcast; WaitTimeout must report a timeout")
+	}
+	if resumed != Time(2*Second) || end != Time(2*Second) {
+		t.Fatalf("resumed=%v end=%v, want 2s for both", resumed, end)
+	}
+	if sig.Pending() != 0 {
+		t.Fatalf("expired waiter still pending on the signal")
+	}
+	// The signal must remain usable: a plain wait/broadcast cycle after an
+	// expiry must not touch the stale timed waiter.
+	env2 := NewEnv(1)
+	sig2 := NewSignal(env2)
+	env2.Go("w", func(p *Proc) {
+		sig2.WaitTimeout(p, Second) // expires
+		sig2.Wait(p)                // then waits plainly
+	})
+	env2.Go("b", func(p *Proc) {
+		p.Sleep(2 * Second)
+		sig2.Broadcast()
+	})
+	if end := env2.Run(); end != Time(2*Second) {
+		t.Fatalf("reuse after expiry ended at %v, want 2s", end)
+	}
+}

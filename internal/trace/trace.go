@@ -90,6 +90,14 @@ func (r *Ring) Enable(k Kind, on bool) {
 	r.enabled[k] = on
 }
 
+// Recording reports whether events of kind k would be retained. Hot paths
+// must check this before calling Add: the variadic arguments box (and
+// allocate) at the call site even when the ring is nil or the kind is
+// disabled.
+func (r *Ring) Recording(k Kind) bool {
+	return r != nil && r.enabled[k]
+}
+
 // Add records an event. A nil ring is a no-op, so call sites can hold an
 // optional *Ring without guards.
 func (r *Ring) Add(at sim.Time, k Kind, format string, args ...interface{}) {
