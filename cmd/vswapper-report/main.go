@@ -33,6 +33,7 @@ import (
 
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
+	"vswapsim/internal/swapback"
 )
 
 // Exit codes.
@@ -55,6 +56,8 @@ type cliConfig struct {
 	jsonOut     string
 	traceRing   int
 	faults      fault.Plan
+	swapback    swapback.Kind
+	swapPolicy  swapback.Policy
 	auditEvery  int
 	maxEvents   uint64
 	cellTimeout time.Duration
@@ -80,6 +83,10 @@ func parseArgs(args []string) (cliConfig, error) {
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
 	faultSpec := fs.String("faults", "",
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
+	swapbackName := fs.String("swapback", "",
+		"swap-backend tier: "+strings.Join(swapback.KindNames(), ", ")+" (empty = hdd, the raw swap device)")
+	swapPolicyName := fs.String("swappolicy", "",
+		"tiering policy for backends with a fast tier: "+strings.Join(swapback.PolicyNames(), ", ")+" (empty = writeback)")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
 	fs.Uint64Var(&c.maxEvents, "maxevents", 0,
@@ -109,6 +116,12 @@ func parseArgs(args []string) (cliConfig, error) {
 	var err error
 	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
 		return c, fmt.Errorf("invalid -faults: %v", err)
+	}
+	if c.swapback, err = swapback.ParseKind(*swapbackName); err != nil {
+		return c, fmt.Errorf("invalid -swapback: %v", err)
+	}
+	if c.swapPolicy, err = swapback.ParsePolicy(*swapPolicyName); err != nil {
+		return c, fmt.Errorf("invalid -swappolicy: %v", err)
 	}
 	return c, nil
 }
@@ -179,14 +192,18 @@ func run(args []string, stdoutW, stderr io.Writer) int {
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
-		Faults: c.faults, AuditEvery: c.auditEvery,
-		MaxEvents: c.maxEvents, CellTimeout: c.cellTimeout,
+		Faults: c.faults, Swapback: c.swapback, SwapPolicy: c.swapPolicy,
+		AuditEvery: c.auditEvery,
+		MaxEvents:  c.maxEvents, CellTimeout: c.cellTimeout,
 		Ctx: ctx, CancelRun: stop,
 	}
 	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v parallel=%d)\n\n",
 		c.seed, c.scale, c.quick, c.parallel)
 	if !c.faults.Empty() {
 		fmt.Fprintf(w, "fault injection active: %s (auditevery=%d)\n\n", c.faults, c.auditEvery)
+	}
+	if c.swapback != swapback.HDD || c.swapPolicy != swapback.PolicyWriteback {
+		fmt.Fprintf(w, "swap backend: %s (policy %s)\n\n", c.swapback, c.swapPolicy)
 	}
 	start := time.Now()
 	totalFails := 0

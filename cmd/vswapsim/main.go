@@ -9,9 +9,9 @@
 //	vswapsim validate <scenario.yaml>...
 //
 // Flags (shared by -run and the run subcommand): -scale, -seed, -quick,
-// -parallel, -json, -tracering, -faults, -auditevery, -maxevents,
-// -celltimeout, -diagdir, -cpuprofile, -memprofile. Run `vswapsim -h`
-// for the full descriptions.
+// -parallel, -json, -tracering, -faults, -swapback, -swappolicy,
+// -auditevery, -maxevents, -celltimeout, -diagdir, -cpuprofile,
+// -memprofile. Run `vswapsim -h` for the full descriptions.
 //
 // `vswapsim run scenarios/fig3.yaml` executes a declarative scenario
 // (see internal/scenario and EXPERIMENTS.md for the schema) through the
@@ -55,6 +55,7 @@ import (
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
 	"vswapsim/internal/scenario"
+	"vswapsim/internal/swapback"
 )
 
 // Exit codes.
@@ -87,12 +88,18 @@ type cliConfig struct {
 	jsonOut     bool
 	traceRing   int
 	faults      fault.Plan
+	swapback    swapback.Kind
+	swapPolicy  swapback.Policy
 	auditEvery  int
 	maxEvents   uint64
 	cellTimeout time.Duration
 	diagDir     string
 	cpuProfile  string
 	memProfile  string
+
+	// raw flag values parsed into swapback/swapPolicy by parseArgs
+	swapbackName   string
+	swapPolicyName string
 }
 
 // newFlagSet registers every vswapsim flag on a fresh FlagSet. faultSpec
@@ -112,6 +119,10 @@ func newFlagSet(c *cliConfig) (fs *flag.FlagSet, faultSpec *string) {
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
 	faultSpec = fs.String("faults", "",
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
+	fs.StringVar(&c.swapbackName, "swapback", "",
+		"swap-backend tier: "+strings.Join(swapback.KindNames(), ", ")+" (empty = hdd, the raw swap device)")
+	fs.StringVar(&c.swapPolicyName, "swappolicy", "",
+		"tiering policy for backends with a fast tier: "+strings.Join(swapback.PolicyNames(), ", ")+" (empty = writeback)")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
 	fs.Uint64Var(&c.maxEvents, "maxevents", 0,
@@ -155,6 +166,12 @@ func parseArgs(args []string) (cliConfig, error) {
 	var err error
 	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
 		return c, fmt.Errorf("invalid -faults: %v", err)
+	}
+	if c.swapback, err = swapback.ParseKind(c.swapbackName); err != nil {
+		return c, fmt.Errorf("invalid -swapback: %v", err)
+	}
+	if c.swapPolicy, err = swapback.ParsePolicy(c.swapPolicyName); err != nil {
+		return c, fmt.Errorf("invalid -swappolicy: %v", err)
 	}
 	return c, nil
 }
@@ -233,6 +250,18 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vswapsim run: %v\n", err)
 		return exitUsage
 	}
+	// A scenario that declares its own backend tiers owns that axis: a
+	// non-default CLI tier would silently lose to (or fight with) the
+	// declaration, so the combination is a usage error rather than a
+	// precedence rule.
+	if c.swapback != swapback.HDD && len(sc.Backends) > 0 {
+		fmt.Fprintln(stderr, "vswapsim run: -swapback conflicts with the scenario's backend declaration")
+		return exitUsage
+	}
+	if c.swapPolicy != swapback.PolicyWriteback && sc.Policy != "" {
+		fmt.Fprintln(stderr, "vswapsim run: -swappolicy conflicts with the scenario's policy declaration")
+		return exitUsage
+	}
 	// Surface the scenario's own fault/audit configuration in the emitted
 	// document and diag bundles; an explicit CLI -faults keeps priority
 	// (and overrides the scenario's fault config entirely, including
@@ -297,8 +326,9 @@ func executeExperiment(e experiment.Experiment, scenarioPath string, c cliConfig
 	opts := experiment.Options{
 		Seed: c.seed, Scale: c.scale, Quick: c.quick,
 		Parallel: c.parallel, TraceRing: c.traceRing,
-		Faults: c.faults, AuditEvery: c.auditEvery,
-		MaxEvents: c.maxEvents, CellTimeout: c.cellTimeout,
+		Faults: c.faults, Swapback: c.swapback, SwapPolicy: c.swapPolicy,
+		AuditEvery: c.auditEvery,
+		MaxEvents:  c.maxEvents, CellTimeout: c.cellTimeout,
 		Ctx: ctx, CancelRun: stop,
 	}
 	start := time.Now()

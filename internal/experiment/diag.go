@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"vswapsim/internal/swapback"
 )
 
 // This file writes crash-diagnostics bundles: one self-contained JSON
@@ -27,6 +29,8 @@ type DiagBundle struct {
 	Scale       float64       `json:"scale"`
 	Quick       bool          `json:"quick"`
 	Faults      string        `json:"faults,omitempty"`
+	Swapback    string        `json:"swapback,omitempty"`
+	SwapPolicy  string        `json:"swappolicy,omitempty"`
 	AuditEvery  int           `json:"audit_every,omitempty"`
 	MaxEvents   uint64        `json:"max_events,omitempty"`
 	CellTimeout string        `json:"cell_timeout,omitempty"`
@@ -48,21 +52,7 @@ func ReplayCommand(cmd, expID string, o Options) string {
 		fmt.Fprintf(&b, " -run %s", expID)
 	}
 	fmt.Fprintf(&b, " -seed %d -scale %g", o.Seed, o.Scale)
-	if o.Quick {
-		b.WriteString(" -quick")
-	}
-	if !o.Faults.Empty() {
-		fmt.Fprintf(&b, " -faults '%s'", o.Faults.String())
-	}
-	if o.AuditEvery > 0 {
-		fmt.Fprintf(&b, " -auditevery %d", o.AuditEvery)
-	}
-	if o.MaxEvents > 0 {
-		fmt.Fprintf(&b, " -maxevents %d", o.MaxEvents)
-	}
-	if o.TraceRing > 0 {
-		fmt.Fprintf(&b, " -tracering %d", o.TraceRing)
-	}
+	replayFlags(&b, o)
 	return b.String()
 }
 
@@ -73,22 +63,35 @@ func ScenarioReplayCommand(path string, o Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "go run ./cmd/vswapsim run %s", path)
 	fmt.Fprintf(&b, " -seed %d -scale %g", o.Seed, o.Scale)
+	replayFlags(&b, o)
+	return b.String()
+}
+
+// replayFlags appends the optional flags both replay forms share, each
+// omitted at its default so replay commands for pre-existing invocations
+// render unchanged.
+func replayFlags(b *strings.Builder, o Options) {
 	if o.Quick {
 		b.WriteString(" -quick")
 	}
 	if !o.Faults.Empty() {
-		fmt.Fprintf(&b, " -faults '%s'", o.Faults.String())
+		fmt.Fprintf(b, " -faults '%s'", o.Faults.String())
+	}
+	if o.Swapback != swapback.HDD {
+		fmt.Fprintf(b, " -swapback %s", o.Swapback)
+	}
+	if o.SwapPolicy != swapback.PolicyWriteback {
+		fmt.Fprintf(b, " -swappolicy %s", o.SwapPolicy)
 	}
 	if o.AuditEvery > 0 {
-		fmt.Fprintf(&b, " -auditevery %d", o.AuditEvery)
+		fmt.Fprintf(b, " -auditevery %d", o.AuditEvery)
 	}
 	if o.MaxEvents > 0 {
-		fmt.Fprintf(&b, " -maxevents %d", o.MaxEvents)
+		fmt.Fprintf(b, " -maxevents %d", o.MaxEvents)
 	}
 	if o.TraceRing > 0 {
-		fmt.Fprintf(&b, " -tracering %d", o.TraceRing)
+		fmt.Fprintf(b, " -tracering %d", o.TraceRing)
 	}
-	return b.String()
 }
 
 // bundleFileName derives a stable, filesystem-safe name for a failure's
@@ -131,6 +134,12 @@ func WriteDiagBundlesReplay(dir, cmd, expID, replay string, o Options, fails []F
 			TraceRing:  o.TraceRing,
 			Replay:     replay,
 			Failure:    f,
+		}
+		if o.Swapback != swapback.HDD {
+			b.Swapback = o.Swapback.String()
+		}
+		if o.SwapPolicy != swapback.PolicyWriteback {
+			b.SwapPolicy = o.SwapPolicy.String()
 		}
 		if o.CellTimeout > 0 {
 			b.CellTimeout = o.CellTimeout.String()

@@ -19,6 +19,7 @@ import (
 	"vswapsim/internal/guest"
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
 	"vswapsim/internal/workload"
 )
 
@@ -84,6 +85,12 @@ type Options struct {
 	// a non-empty plan stays bit-identical across -parallel values because
 	// each machine's injector derives its stream from that machine's seed.
 	Faults fault.Plan
+	// Swapback selects the swap-destination tier for every simulated
+	// machine (see internal/swapback). The zero value (HDD) is the raw
+	// device, byte-identical to pre-backend output.
+	Swapback swapback.Kind
+	// SwapPolicy selects the tiering policy for backends with a fast tier.
+	SwapPolicy swapback.Policy
 	// AuditEvery, when positive, attaches the invariant auditor to every
 	// simulated machine, checking global invariants every AuditEvery
 	// simulated events (test mode; a full check is O(pages), so stride
@@ -377,6 +384,8 @@ func runSingle(rc runCfg, body func(vm *hyper.VM, p *sim.Proc) *workload.Job) ru
 			Seed:         rc.seed,
 			HostMemPages: o.pages(hostMB),
 			Faults:       o.Faults,
+			Swapback:     o.Swapback,
+			SwapPolicy:   o.SwapPolicy,
 			Budget:       o.cellBudget(),
 		}
 		if rc.hostTweak != nil {

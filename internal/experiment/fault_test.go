@@ -13,6 +13,7 @@ import (
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
 )
 
 // auditStride lets the property sweep rerun with the auditor on every
@@ -40,7 +41,7 @@ func faultOpts(plan fault.Plan) Options {
 // canonical plan spec, so a failure here is replayable with
 //
 //	go run ./cmd/vswapsim -run fig3 -quick -scale 0.0625 -seed <seed> \
-//	    -faults '<spec>' -auditevery 1
+//	    -faults '<spec>' -swapback <tier> -auditevery 1
 func TestFaultPlanPropertySweep(t *testing.T) {
 	seeds := 50
 	if testing.Short() {
@@ -54,9 +55,14 @@ func TestFaultPlanPropertySweep(t *testing.T) {
 			o := faultOpts(plan)
 			o.AuditEvery = *auditStride
 			o.Seed = 1000 + seed // vary the machine streams along with the plan
+			// Cycle the swap-backend tier with the seed so the sweep
+			// exercises every tier's fault handling under the auditor,
+			// not just the default device.
+			kinds := swapback.AllKinds()
+			o.Swapback = kinds[int(seed)%len(kinds)]
 			defer func() {
 				if r := recover(); r != nil {
-					t.Fatalf("seed %d, plan %q: %v", seed, plan, r)
+					t.Fatalf("seed %d, plan %q, backend %s: %v", seed, plan, o.Swapback, r)
 				}
 			}()
 			e, err := ByID("fig3")

@@ -62,6 +62,8 @@ func runDynamic(o Options, scheme Scheme, n int, seed uint64, dc dynCfg) (sim.Du
 			Seed:         seed,
 			HostMemPages: o.pages(dc.hostMB),
 			Faults:       o.Faults,
+			Swapback:     o.Swapback,
+			SwapPolicy:   o.SwapPolicy,
 			Budget:       o.cellBudget(),
 		})
 		st.m = m

@@ -6,6 +6,7 @@ import (
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/scenario"
 	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
 	"vswapsim/internal/workload"
 )
 
@@ -85,9 +86,34 @@ func scenarioIters(o Options, w scenario.Workload) int {
 	return w.Iterations
 }
 
+// scenarioKinds resolves which backend tiers the scenario runs against:
+// the declared backend list, or the invocation's -swapback (default hdd)
+// when the scenario declares none.
+func scenarioKinds(sc *scenario.Scenario, o Options) []swapback.Kind {
+	if len(sc.Backends) == 0 {
+		return []swapback.Kind{o.Swapback}
+	}
+	kinds := make([]swapback.Kind, len(sc.Backends))
+	for i, name := range sc.Backends {
+		k, err := swapback.ParseKind(name)
+		if err != nil {
+			panic("experiment: invalid scenario backend " + name) // validation rejects
+		}
+		kinds[i] = k
+	}
+	return kinds
+}
+
 func runScenario(sc *scenario.Scenario, o Options) *Report {
 	o = o.normalized()
 	o, timelineFaults := scenarioOptions(sc, o)
+	if sc.Policy != "" {
+		p, err := swapback.ParsePolicy(sc.Policy)
+		if err != nil {
+			panic("experiment: invalid scenario policy " + sc.Policy) // validation rejects
+		}
+		o.SwapPolicy = p
+	}
 	rep := &Report{ID: sc.Name, Title: sc.Title, PaperNote: sc.PaperNote}
 	if sc.Mode == scenario.ModeDynamic {
 		runScenarioDynamic(sc, o, rep)
@@ -134,51 +160,70 @@ func runScenarioSingle(sc *scenario.Scenario, o Options, rep *Report, timelineFa
 	}
 
 	// Schemes run serially with the invocation seed, exactly like the
-	// hand-coded single-guest figures.
-	results := make(map[string]singleOut, len(sc.Schemes))
-	for _, ref := range sc.Schemes {
-		ref := ref
-		s := schemeByName[ref.Name]
-		var notes []string
-		var lastSnap map[string]int64
-		out := runSingle(runCfg{
-			opts: o, scheme: s,
-			guestMB:         sc.Fleet.MemoryMB,
-			actualMB:        sc.Fleet.ActualMB,
-			hostMB:          sc.Fleet.HostMB,
-			vcpus:           sc.Fleet.VCPUs,
-			warmup:          sc.Fleet.Warmup,
-			balloonMarginMB: sc.Fleet.BalloonMarginMB,
-			hostTweak:       hostTweak,
-		}, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
-			var after func(int)
-			if len(sc.Panels) > 0 {
-				lastSnap = vm.M.Met.Snapshot()
-				after = func(int) {
-					d := vm.M.Met.Diff(lastSnap)
+	// hand-coded single-guest figures. With more than one declared backend
+	// the whole scheme grid repeats per tier (panels and timelines are
+	// rejected by validation there), each tier on its own derived seed so
+	// the tiers' streams stay independent; a single backend keeps the
+	// invocation seed so a scenario equals the -swapback CLI form exactly.
+	kinds := scenarioKinds(sc, o)
+	multi := len(kinds) > 1
+	cellKey := func(k swapback.Kind, schemeName string) string {
+		if multi {
+			return k.String() + "/" + schemeName
+		}
+		return schemeName
+	}
+	results := make(map[string]singleOut, len(kinds)*len(sc.Schemes))
+	for _, k := range kinds {
+		ko := o
+		ko.Swapback = k
+		if multi {
+			ko.Seed = sim.DeriveSeed(o.Seed, "swapback", k.String())
+		}
+		for _, ref := range sc.Schemes {
+			ref := ref
+			s := schemeByName[ref.Name]
+			var notes []string
+			var lastSnap map[string]int64
+			out := runSingle(runCfg{
+				opts: ko, scheme: s,
+				guestMB:         sc.Fleet.MemoryMB,
+				actualMB:        sc.Fleet.ActualMB,
+				hostMB:          sc.Fleet.HostMB,
+				vcpus:           sc.Fleet.VCPUs,
+				warmup:          sc.Fleet.Warmup,
+				balloonMarginMB: sc.Fleet.BalloonMarginMB,
+				hostTweak:       hostTweak,
+			}, func(vm *hyper.VM, p *sim.Proc) *workload.Job {
+				var after func(int)
+				if len(sc.Panels) > 0 {
 					lastSnap = vm.M.Met.Snapshot()
-					for i, pn := range sc.Panels {
-						if pn.Source == "counter" {
-							panelData[i][ref.Name] = append(panelData[i][ref.Name],
-								fmt.Sprintf("%.1f", float64(d[pn.Counter])/pn.Per))
+					after = func(int) {
+						d := vm.M.Met.Diff(lastSnap)
+						lastSnap = vm.M.Met.Snapshot()
+						for i, pn := range sc.Panels {
+							if pn.Source == "counter" {
+								panelData[i][ref.Name] = append(panelData[i][ref.Name],
+									fmt.Sprintf("%.1f", float64(d[pn.Counter])/pn.Per))
+							}
 						}
 					}
 				}
-			}
-			job := scenarioJob(o, sc.Workload, vm, after)
-			if len(sc.Timeline) > 0 {
-				runTimeline(sc, o, vm, job, timelineFaults, ref.Name, &notes)
-			}
-			return job
-		})
-		for i, pn := range sc.Panels {
-			if pn.Source == "runtime" {
-				for _, it := range out.res.Iterations {
-					panelData[i][ref.Name] = append(panelData[i][ref.Name], secs(it))
+				job := scenarioJob(ko, sc.Workload, vm, after)
+				if len(sc.Timeline) > 0 {
+					runTimeline(sc, ko, vm, job, timelineFaults, ref.Name, &notes)
+				}
+				return job
+			})
+			for i, pn := range sc.Panels {
+				if pn.Source == "runtime" {
+					for _, it := range out.res.Iterations {
+						panelData[i][ref.Name] = append(panelData[i][ref.Name], secs(it))
+					}
 				}
 			}
+			results[cellKey(k, ref.Name)] = singleOut{out: out, notes: notes}
 		}
-		results[ref.Name] = singleOut{out: out, notes: notes}
 	}
 
 	if sc.TableTitle != "" {
@@ -193,12 +238,15 @@ func runScenarioSingle(sc *scenario.Scenario, o Options, rep *Report, timelineFa
 			cols = append(cols, "paper")
 		}
 		tab := &Table{Title: sc.TableTitle, Columns: cols}
-		for _, ref := range sc.Schemes {
-			row := []string{ref.Name, runtimeOrKilled(results[ref.Name].out.res)}
-			if withPaper {
-				row = append(row, ref.Paper)
+		for _, k := range kinds {
+			for _, ref := range sc.Schemes {
+				name := cellKey(k, ref.Name)
+				row := []string{name, runtimeOrKilled(results[name].out.res)}
+				if withPaper {
+					row = append(row, ref.Paper)
+				}
+				tab.Add(row...)
 			}
-			tab.Add(row...)
 		}
 		rep.Tables = append(rep.Tables, tab)
 	}
@@ -220,12 +268,18 @@ func runScenarioSingle(sc *scenario.Scenario, o Options, rep *Report, timelineFa
 		}
 		rep.Tables = append(rep.Tables, tab)
 	}
-	for _, ref := range sc.Schemes {
-		rep.Notes = append(rep.Notes, results[ref.Name].notes...)
+	for _, k := range kinds {
+		for _, ref := range sc.Schemes {
+			rep.Notes = append(rep.Notes, results[cellKey(k, ref.Name)].notes...)
+		}
 	}
 
-	evalAssertions(sc, rep, func(schemeName, metric string) float64 {
-		out := results[schemeName].out
+	evalAssertions(sc, rep, func(backend, schemeName, metric string) float64 {
+		key := schemeName
+		if multi {
+			key = backend + "/" + schemeName
+		}
+		out := results[key].out
 		switch metric {
 		case scenario.MetricRuntimeSec:
 			return out.res.Runtime().Seconds()
@@ -287,6 +341,9 @@ func runTimeline(sc *scenario.Scenario, o Options, vm *hyper.VM, job *workload.J
 // ---- dynamic mode ----
 
 func runScenarioDynamic(sc *scenario.Scenario, o Options, rep *Report) {
+	// Dynamic mode fans out per (count, scheme) already; validation caps it
+	// at one declared backend, which simply replaces the invocation tier.
+	o.Swapback = scenarioKinds(sc, o)[0]
 	counts := sc.Fleet.Counts
 	if o.Quick && len(sc.Fleet.QuickCounts) > 0 {
 		counts = sc.Fleet.QuickCounts
@@ -352,19 +409,25 @@ func runScenarioDynamic(sc *scenario.Scenario, o Options, rep *Report) {
 // ---- assertions ----
 
 // evalAssertions checks single-mode assertions with val resolving
-// (scheme, metric) pairs, appending deterministic notes and counting
-// failures into the report.
-func evalAssertions(sc *scenario.Scenario, rep *Report, val func(scheme, metric string) float64) {
+// (backend, scheme, metric) triples, appending deterministic notes and
+// counting failures into the report. An assertion without a backend
+// selector reads the first declared backend ("" when the scenario
+// declares none and the grid is the invocation tier).
+func evalAssertions(sc *scenario.Scenario, rep *Report, val func(backend, scheme, metric string) float64) {
 	if len(sc.Assertions) == 0 {
 		return
 	}
 	passed := 0
 	for _, a := range sc.Assertions {
+		backend := a.Backend
+		if backend == "" && len(sc.Backends) > 0 {
+			backend = sc.Backends[0]
+		}
 		var left, right float64
 		if a.Threshold() {
-			left, right = val(a.Scheme, a.Counter), a.Value
+			left, right = val(backend, a.Scheme, a.Counter), a.Value
 		} else {
-			left, right = val(a.Left, a.Counter), val(a.Right, a.Counter)
+			left, right = val(backend, a.Left, a.Counter), val(backend, a.Right, a.Counter)
 		}
 		if a.Compare(left, right) {
 			passed++

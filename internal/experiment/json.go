@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"vswapsim/internal/hyper"
+	"vswapsim/internal/swapback"
 )
 
 // This file is the machine-readable report path. Text tables (Report) stay
@@ -153,6 +154,11 @@ type JSONDocument struct {
 	// Faults is the canonical fault-injection spec; omitted (keeping the
 	// document byte-identical to faultless builds) when no plan is set.
 	Faults string `json:"faults,omitempty"`
+	// Swapback/SwapPolicy name the swap backend tier and tiering policy;
+	// omitted under the defaults (hdd/writeback) so default documents stay
+	// byte-identical to pre-backend output.
+	Swapback   string `json:"swapback,omitempty"`
+	SwapPolicy string `json:"swappolicy,omitempty"`
 	// Incomplete marks a partial document: the run was canceled (SIGINT
 	// or a fatal budget breach) before every experiment finished.
 	// Omitted on complete runs so their bytes are unchanged.
@@ -164,7 +170,7 @@ type JSONDocument struct {
 // that produced them.
 func BuildJSONDocument(o Options, reps []*JSONReport) *JSONDocument {
 	o = o.normalized()
-	return &JSONDocument{
+	doc := &JSONDocument{
 		Seed:        o.Seed,
 		Scale:       o.Scale,
 		Quick:       o.Quick,
@@ -172,4 +178,11 @@ func BuildJSONDocument(o Options, reps []*JSONReport) *JSONDocument {
 		Faults:      o.Faults.String(),
 		Experiments: reps,
 	}
+	if o.Swapback != swapback.HDD {
+		doc.Swapback = o.Swapback.String()
+	}
+	if o.SwapPolicy != swapback.PolicyWriteback {
+		doc.SwapPolicy = o.SwapPolicy.String()
+	}
+	return doc
 }

@@ -158,16 +158,13 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 		if i < len(ioSlots) && ioSlots[i] == ioSlots[i-1]+1 {
 			continue
 		}
-		run := ioSlots[start:i]
-		done := m.Dev.Submit(disk.Read, m.Swap.Phys(run[0]), len(run))
+		done := m.Back.SubmitRead(ioSlots[start:i])
 		if done > last {
 			last = done
 		}
-		m.c.swapReadOps.Inc()
-		m.c.swapReadSectors.Add(int64(len(run)) * disk.SectorsPerBlock)
 		start = i
 	}
-	m.Dev.WaitFor(p, last)
+	m.Back.WaitFor(p, last)
 
 	// Injected transient read failures: retry the faulting slot with
 	// exponential backoff. If retries run out the slot's content is
@@ -186,10 +183,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 			m.c.faultSwapInRetries.Inc()
 			m.c.histBackoff.Observe(backoff)
 			p.Sleep(backoff)
-			done := m.Dev.Submit(disk.Read, m.Swap.Phys(pg.SwapSlot), 1)
-			m.c.swapReadOps.Inc()
-			m.c.swapReadSectors.Add(disk.SectorsPerBlock)
-			m.Dev.WaitFor(p, done)
+			m.Back.WaitFor(p, m.Back.SubmitRead1(pg.SwapSlot))
 		}
 	}
 
@@ -215,6 +209,7 @@ func (m *Manager) SwapIn(p *sim.Proc, pg *Page, ctx Ctx) {
 	pg.Referenced = false
 	pg.Owner.inactiveAnon.pushFront(pg)
 	m.c.hostSwapIns.Inc()
+	m.Back.NoteRefault(pg.SwapSlot)
 	if m.Trace.Recording(trace.Fault) {
 		m.Trace.Add(m.Env.Now(), trace.Fault, "swap-in cg=%s gfn=%d slot=%d cluster=%d",
 			pg.Owner.Name, pg.ID, pg.SwapSlot, len(ioSlots))

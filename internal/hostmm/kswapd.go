@@ -66,6 +66,10 @@ func (m *Manager) StartKswapd(cfg KswapdConfig) (stop func()) {
 	stopSig := sim.NewSignal(m.Env)
 	m.Env.Go("kswapd", func(p *sim.Proc) {
 		for !done {
+			// Backend housekeeping rides the kswapd interval: tiered
+			// backends demote cold fast-tier entries here (no-op for the
+			// default hdd store).
+			m.Back.BackgroundTick()
 			if m.Pool.Free() < low {
 				// Reclaim from the largest cgroup in bounded batches until
 				// the high watermark, yielding between batches.

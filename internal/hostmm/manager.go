@@ -8,6 +8,7 @@ import (
 	"vswapsim/internal/mem"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
 	"vswapsim/internal/trace"
 )
 
@@ -118,6 +119,12 @@ type Manager struct {
 	Swap *SwapArea
 	Cfg  Config
 
+	// Back is the swap destination: all swap reads and writebacks go
+	// through it. NewManager installs a transparent HDD store over Dev;
+	// the hypervisor swaps in a tiered backend via SetBackend. File-backed
+	// I/O (FileFaultIn, guest images) stays on the raw device.
+	Back *swapback.Store
+
 	// Trace, when non-nil, records fault/reclaim events for debugging.
 	Trace *trace.Ring
 
@@ -151,8 +158,6 @@ type Manager struct {
 type hotMetrics struct {
 	faultsInGuest, majorInGuest, faultsInHost   *metrics.Counter
 	majorFaults, minorFaults, timeHostFault     *metrics.Counter
-	swapReadOps, swapReadSectors                *metrics.Counter
-	swapWriteOps, swapWriteSectors              *metrics.Counter
 	imageReadSectors                            *metrics.Counter
 	hostSwapIns, hostSwapOuts                   *metrics.Counter
 	hostSwapPrefetched, hostFilePrefetched      *metrics.Counter
@@ -172,10 +177,6 @@ func newHotMetrics(met *metrics.Set) hotMetrics {
 		majorFaults:         met.Counter(metrics.HostMajorFaults),
 		minorFaults:         met.Counter(metrics.HostMinorFaults),
 		timeHostFault:       met.Counter(metrics.TimeHostFault),
-		swapReadOps:         met.Counter(metrics.SwapReadOps),
-		swapReadSectors:     met.Counter(metrics.SwapReadSectors),
-		swapWriteOps:        met.Counter(metrics.SwapWriteOps),
-		swapWriteSectors:    met.Counter(metrics.SwapWriteSectors),
 		imageReadSectors:    met.Counter(metrics.ImageReadSectors),
 		hostSwapIns:         met.Counter(metrics.HostSwapIns),
 		hostSwapOuts:        met.Counter(metrics.HostSwapOuts),
@@ -226,7 +227,7 @@ func (m *Manager) putSwapInBufs(b *swapInBufs) {
 // NewManager assembles a host MM over the given device, frame pool and
 // swap area.
 func NewManager(env *sim.Env, met *metrics.Set, dev *disk.Device, pool *mem.FramePool, swap *SwapArea, cfg Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		Env:  env,
 		Met:  met,
 		Dev:  dev,
@@ -235,6 +236,31 @@ func NewManager(env *sim.Env, met *metrics.Set, dev *disk.Device, pool *mem.Fram
 		Cfg:  cfg.withDefaults(),
 		c:    newHotMetrics(met),
 	}
+	// Default backend: the raw device, request-for-request identical to
+	// the pre-backend swap path.
+	m.SetBackend(swapback.New(swapback.Config{
+		Kind: swapback.HDD,
+		Env:  env,
+		Met:  met,
+		Dev:  dev,
+		Phys: swap.Phys,
+	}))
+	return m
+}
+
+// SetBackend routes all subsequent swap I/O through st: it installs the
+// slot-identity resolver (so tiered backends can key per-page properties
+// by page, surviving slot reuse) and hooks slot frees so fast-tier copies
+// die with their slot.
+func (m *Manager) SetBackend(st *swapback.Store) {
+	m.Back = st
+	st.SetOwnerKey(func(slot int64) uint64 {
+		if pg := m.Swap.Owner(slot); pg != nil {
+			return pg.key()
+		}
+		return uint64(slot)
+	})
+	m.Swap.onFree = st.Free
 }
 
 // Cgroup is a memory control group bounding one QEMU process (one guest).
@@ -244,7 +270,10 @@ type Cgroup struct {
 	Name  string
 	Limit int // max resident pages; 0 = bounded only by the global pool
 
-	mgr      *Manager
+	mgr *Manager
+	// idx is the cgroup's registration order, combined with page IDs into
+	// a stable per-page identity for the swap backend.
+	idx      int
 	resident int
 	pinned   int
 
@@ -261,7 +290,7 @@ type Cgroup struct {
 
 // NewCgroup registers a new control group.
 func (m *Manager) NewCgroup(name string, limitPages int) *Cgroup {
-	cg := &Cgroup{Name: name, Limit: limitPages, mgr: m}
+	cg := &Cgroup{Name: name, Limit: limitPages, mgr: m, idx: len(m.cgroups)}
 	cg.activeAnon.name = name + "/active-anon"
 	cg.inactiveAnon.name = name + "/inactive-anon"
 	cg.activeFile.name = name + "/active-file"
@@ -486,7 +515,7 @@ func (m *Manager) reclaim(p *sim.Proc, cg *Cgroup, target int) int {
 	// Writeback congestion: don't let a reclaimer run ahead of the disk
 	// indefinitely; wait until the queued backlog is bounded.
 	if p != nil && len(swapWrites) > 0 {
-		if backlog := m.Dev.FreeAt().Sub(m.Env.Now()); backlog > m.Cfg.WritebackCongestion {
+		if backlog := m.Back.Backlog(); backlog > m.Cfg.WritebackCongestion {
 			p.Sleep(backlog - m.Cfg.WritebackCongestion)
 		}
 	}
@@ -579,10 +608,7 @@ func (m *Manager) submitSwapWrites(slots []int64) {
 		if i < len(slots) && slots[i] == slots[i-1]+1 {
 			continue
 		}
-		run := slots[start:i]
-		m.Dev.Submit(disk.Write, m.Swap.Phys(run[0]), len(run))
-		m.c.swapWriteSectors.Add(int64(len(run)) * disk.SectorsPerBlock)
-		m.c.swapWriteOps.Inc()
+		m.Back.SubmitWrite(slots[start:i])
 		start = i
 	}
 }

@@ -134,6 +134,14 @@ type Page struct {
 // InLRU reports whether the page is currently on one of the cgroup lists.
 func (pg *Page) InLRU() bool { return pg.list != nil }
 
+// key is a stable per-page identity (cgroup registration order + page ID)
+// for the swap backend: per-page properties like compressibility and heat
+// must survive slot reuse, so they key by page, not by slot. IDs can be
+// negative (QEMU-internal pages); sign extension keeps keys distinct.
+func (pg *Page) key() uint64 {
+	return uint64(pg.Owner.idx)<<40 ^ uint64(int64(pg.ID))
+}
+
 // pageList is an intrusive doubly-linked list of pages with O(1) removal.
 // Pages are pushed at the front; reclaim scans from the back (oldest).
 type pageList struct {

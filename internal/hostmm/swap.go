@@ -32,6 +32,10 @@ type SwapArea struct {
 	// fault path reads ownership for every slot of a readahead cluster, so
 	// this must be an indexed load, not a hashed map probe.
 	owner []*Page
+
+	// onFree, when non-nil, observes every slot release (the swap backend
+	// hooks it to drop fast-tier copies when their slot dies).
+	onFree func(slot int64)
 }
 
 // SlotsPerCluster mirrors Linux's SWAPFILE_CLUSTER.
@@ -147,6 +151,9 @@ func (s *SwapArea) Free(slot int64) {
 		if s.freesSince >= SlotsPerCluster {
 			s.scanFailed = false // a cluster may exist again; rescan
 		}
+	}
+	if s.onFree != nil {
+		s.onFree(slot)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"vswapsim/internal/mem"
 	"vswapsim/internal/metrics"
 	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
 	"vswapsim/internal/trace"
 )
 
@@ -25,6 +26,13 @@ type MachineConfig struct {
 	HostSwapPages int64
 	// Disk selects the drive latency model (default Constellation 7200).
 	Disk disk.LatencyModel
+	// Swapback selects the swap-destination tier (internal/swapback). The
+	// zero value (HDD) forwards to the raw device, byte-identical to the
+	// pre-backend simulator; file-backed I/O always uses the raw device.
+	Swapback swapback.Kind
+	// SwapPolicy selects the tiering policy for backends with a fast tier
+	// (zswap); single-tier backends ignore it.
+	SwapPolicy swapback.Policy
 	// Host configures the host memory manager.
 	Host hostmm.Config
 	// Faults schedules deterministic fault injection across the disk,
@@ -88,6 +96,22 @@ func NewMachine(cfg MachineConfig) *Machine {
 	}
 	dev.SetInjector(inj)
 	mm.Inj = inj
+	if cfg.Swapback != swapback.HDD {
+		// Non-default backends get their own derived stream (remote tail
+		// latency, per-page compressibility); the default keeps the
+		// transparent store NewManager installed, drawing nothing.
+		mm.SetBackend(swapback.New(swapback.Config{
+			Kind:   cfg.Swapback,
+			Policy: cfg.SwapPolicy,
+			Env:    env,
+			Met:    met,
+			Dev:    dev,
+			Phys:   mm.Swap.Phys,
+			Pool:   pool,
+			Inj:    inj,
+			Seed:   sim.DeriveSeed(cfg.Seed, "swapback"),
+		}))
+	}
 	m := &Machine{
 		Env:    env,
 		Met:    met,

@@ -33,6 +33,11 @@ const (
 	// retrying injected faults (internal/fault); empty when injection is
 	// off.
 	HistFaultBackoff = "hist.fault.backoff.ns"
+	// HistSwapbackRead / HistSwapbackWrite record per-request completion
+	// latency (queueing included) of swap I/O routed through a non-default
+	// swap backend (internal/swapback); empty under the hdd default.
+	HistSwapbackRead  = "hist.swapback.read.ns"
+	HistSwapbackWrite = "hist.swapback.write.ns"
 )
 
 // histBuckets is the number of power-of-two buckets. Bucket i counts

@@ -91,6 +91,21 @@ const (
 	FaultEmuStarved      = "fault.preventer.starved"
 	FaultMapperPoisoned  = "fault.mapper.poisoned"
 
+	// Swap-backend tiers (internal/swapback). The hostswap.* counters above
+	// count every tier's swap traffic uniformly; these break out what the
+	// non-default backends do with it. All are zero — and absent from
+	// reports — under the default (hdd) backend.
+	SwapbackReadOps                 = "swapback.read.ops"
+	SwapbackWriteOps                = "swapback.write.ops"
+	SwapbackFastStorePages          = "swapback.fast.store.pages"
+	SwapbackFastLoadPages           = "swapback.fast.load.pages"
+	SwapbackFastRejectPages         = "swapback.fast.reject.pages"
+	SwapbackFastIncompressiblePages = "swapback.fast.incompressible.pages"
+	SwapbackFastCorruptPages        = "swapback.fast.corrupt.pages"
+	SwapbackDemotePages             = "swapback.demote.pages"
+	SwapbackPromotePages            = "swapback.promote.pages"
+	SwapbackRemoteTailEvents        = "swapback.remote.tail.events"
+
 	// Per-phase simulated-time accounting (all virtual nanoseconds). These
 	// answer "where does simulated time go": guest CPU execution, host
 	// fault-handling CPU, blocking waits for the disk, and reclaim scans.

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"vswapsim/internal/fault"
+	"vswapsim/internal/swapback"
 )
 
 // This file decodes the parsed node tree into the typed Scenario and
@@ -68,6 +69,16 @@ type Scenario struct {
 	// AuditEvery enables the invariant auditor every N simulated events;
 	// the CLI's -auditevery, when non-zero, takes precedence.
 	AuditEvery int
+
+	// Backends lists the swap-backend tiers the scenario runs against (the
+	// top-level `backend:` field, scalar or sequence). Empty means "use the
+	// CLI's -swapback" (the default hdd tier when the flag is absent). More
+	// than one backend fans the single-mode grid out per tier; declaring
+	// backends conflicts with a non-default CLI -swapback/-swappolicy.
+	Backends []string
+	// Policy names the tiering policy (`policy:`); empty means the CLI's
+	// -swappolicy (default writeback).
+	Policy string
 
 	Fleet      Fleet
 	Schemes    []SchemeRef
@@ -159,6 +170,11 @@ type Assertion struct {
 	Left  string
 	Right string
 
+	// Backend selects which declared backend's grid the assertion reads
+	// (multi-backend single mode; "" = the first declared backend). Only
+	// valid when the scenario declares a backend list.
+	Backend string
+
 	// Guests selects the dynamic-mode cell (0 = the largest count).
 	Guests int
 }
@@ -168,10 +184,14 @@ func (a Assertion) Threshold() bool { return a.Scheme != "" }
 
 // String renders the assertion for failure messages.
 func (a Assertion) String() string {
-	if a.Threshold() {
-		return fmt.Sprintf("%s[%s] %s %g", a.Counter, a.Scheme, a.Op, a.Value)
+	c := a.Counter
+	if a.Backend != "" {
+		c += "@" + a.Backend
 	}
-	return fmt.Sprintf("%s[%s] %s %s[%s]", a.Counter, a.Left, a.Op, a.Counter, a.Right)
+	if a.Threshold() {
+		return fmt.Sprintf("%s[%s] %s %g", c, a.Scheme, a.Op, a.Value)
+	}
+	return fmt.Sprintf("%s[%s] %s %s[%s]", c, a.Left, a.Op, c, a.Right)
 }
 
 // Compare applies the assertion's operator.
@@ -481,6 +501,14 @@ func (d *decoder) scenario(root *node) *Scenario {
 	}
 	sc.FaultSpec, sc.Faults = o.faultPlan("faults")
 	sc.AuditEvery = o.intField("audit_every", 0, 0, 1<<30)
+	sc.Backends = d.backends(o.get("backend"))
+	sc.Policy = o.str("policy")
+	if d.err == nil && sc.Policy != "" {
+		if _, err := swapback.ParsePolicy(sc.Policy); err != nil {
+			d.fail(o.keyPos("policy"), "unknown policy %q (valid: %s)",
+				sc.Policy, strings.Join(swapback.PolicyNames(), ", "))
+		}
+	}
 
 	if fn := o.require("fleet"); fn != nil {
 		sc.Fleet = d.fleet(fn, sc.Mode)
@@ -506,6 +534,48 @@ func (d *decoder) scenario(root *node) *Scenario {
 	o.finish()
 	d.crossChecks(root, sc)
 	return sc
+}
+
+// backends decodes the top-level backend field: one backend name or a
+// sequence of distinct names, each validated against the swapback tiers.
+func (d *decoder) backends(n *node) []string {
+	if n == nil || d.err != nil {
+		return nil
+	}
+	var items []*node
+	switch n.kind {
+	case scalarNode:
+		items = []*node{n}
+	case seqNode:
+		if len(n.items) == 0 {
+			d.fail(n.pos, "backend must not be an empty sequence")
+			return nil
+		}
+		items = n.items
+	default:
+		d.fail(n.pos, "backend must be a backend name or a sequence of names, got %s", n.kind)
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range items {
+		if it.kind != scalarNode {
+			d.fail(it.pos, "elements of backend must be backend names")
+			return nil
+		}
+		if _, err := swapback.ParseKind(it.scalar); err != nil || it.scalar == "" {
+			d.fail(it.pos, "unknown backend %q (valid: %s)",
+				it.scalar, strings.Join(swapback.KindNames(), ", "))
+			return nil
+		}
+		if seen[it.scalar] {
+			d.fail(it.pos, "duplicate backend %q", it.scalar)
+			return nil
+		}
+		seen[it.scalar] = true
+		out = append(out, it.scalar)
+	}
+	return out
 }
 
 func checkName(name string, at pos) error {
@@ -770,6 +840,9 @@ func (d *decoder) assertions(n *node, sc *Scenario) []Assertion {
 		a.Value, _ = o.floatField("value", 0, -1e18, 1e18)
 		a.Left = o.str("left")
 		a.Right = o.str("right")
+		if len(sc.Backends) > 0 {
+			a.Backend = o.str("backend")
+		}
 		if sc.Mode == ModeDynamic {
 			a.Guests = o.intField("guests", 0, 1, 1<<20)
 		}
@@ -807,6 +880,18 @@ func (d *decoder) assertions(n *node, sc *Scenario) []Assertion {
 		for _, s := range []string{a.Scheme, a.Left, a.Right} {
 			if s != "" && !declared[s] {
 				d.fail(at, "assertion references scheme %q not declared in schemes", s)
+				return nil
+			}
+		}
+		if a.Backend != "" {
+			found := false
+			for _, b := range sc.Backends {
+				if b == a.Backend {
+					found = true
+				}
+			}
+			if !found {
+				d.fail(o.keyPos("backend"), "assertion references backend %q not declared in backend", a.Backend)
 				return nil
 			}
 		}
@@ -891,6 +976,20 @@ func (d *decoder) crossChecks(root *node, sc *Scenario) {
 			return p
 		}
 		return root.pos
+	}
+	if len(sc.Backends) > 1 {
+		if sc.Mode == ModeDynamic {
+			d.fail(at("backend"), "dynamic mode supports at most one backend")
+			return
+		}
+		if len(sc.Panels) > 0 {
+			d.fail(at("backend"), "multiple backends and panels are mutually exclusive")
+			return
+		}
+		if len(sc.Timeline) > 0 {
+			d.fail(at("backend"), "multiple backends and timeline events are mutually exclusive")
+			return
+		}
 	}
 	if sc.Mode == ModeDynamic {
 		if len(sc.Panels) > 0 {

@@ -265,6 +265,41 @@ func TestValidateMalformed(t *testing.T) {
 			16, "dynamic-mode assertions support only workload.mean_runtime_sec and workload.killed",
 		},
 		{
+			"unknown backend",
+			"scenario: x\ntitle: t\nmode: single\nbackend: floppy\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\n",
+			4, `unknown backend "floppy"`,
+		},
+		{
+			"duplicate backend",
+			"scenario: x\ntitle: t\nmode: single\nbackend: [ssd, ssd]\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\n",
+			4, `duplicate backend "ssd"`,
+		},
+		{
+			"unknown policy",
+			"scenario: x\ntitle: t\nmode: single\npolicy: lru\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\n",
+			4, `unknown policy "lru"`,
+		},
+		{
+			"assertion backend selector without declared backends",
+			"scenario: x\ntitle: t\nmode: single\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\nassertions:\n  - counter: disk.ops\n    scheme: baseline\n    backend: ssd\n    op: \"==\"\n    value: 0\n",
+			16, `unknown field "backend"`,
+		},
+		{
+			"assertion references undeclared backend",
+			"scenario: x\ntitle: t\nmode: single\nbackend: [hdd, ssd]\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\nassertions:\n  - counter: disk.ops\n    scheme: baseline\n    backend: remote\n    op: \"==\"\n    value: 0\n",
+			17, `assertion references backend "remote" not declared in backend`,
+		},
+		{
+			"dynamic mode rejects multiple backends",
+			"scenario: x\ntitle: t\nmode: dynamic\nbackend: [hdd, ssd]\nfleet:\n  counts: [1, 2]\n  memory_mb: 2048\n  host_mb: 8192\nschemes: [baseline]\nworkload:\n  kind: metis\n  input_mb: 300\n  table_mb: 1024\ntable:\n  title: t\n",
+			4, "dynamic mode supports at most one backend",
+		},
+		{
+			"multiple backends reject timeline",
+			"scenario: x\ntitle: t\nmode: single\nbackend: [hdd, ssd]\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\ntimeline:\n  - at_sec: 1\n    event: balloon_set\n    target_mb: 0\n",
+			4, "multiple backends and timeline events are mutually exclusive",
+		},
+		{
 			"panels without iterations",
 			"scenario: x\ntitle: t\nmode: single\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\npanels:\n  - title: p\n    source: runtime\n",
 			11, "panels require workload.iterations >= 1",

@@ -1,0 +1,89 @@
+package swapback
+
+import (
+	"vswapsim/internal/disk"
+	"vswapsim/internal/fault"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// Remote-tier parameters: a network-attached swap target (NBD / remote
+// memory) over a few persistent connections. Most requests pay one
+// datacenter RTT plus wire transfer with a little jitter; a small seeded
+// fraction lands in the tail (incast, GC on the far end, a retransmit).
+const (
+	remoteConns       = 4
+	remoteBaseRTT     = 120 * sim.Microsecond
+	remotePerBlock    = 3 * sim.Microsecond // ~1.3 GB/s wire rate per conn
+	remoteTailProb    = 0.02
+	remoteTailPenalty = 5 * sim.Millisecond
+	remoteJitterMax   = 80 * sim.Microsecond
+)
+
+// remoteTier draws exactly one uniform variate per request from its
+// private seeded stream, so the tail schedule is deterministic and
+// independent of every other randomness consumer.
+type remoteTier struct {
+	env   *sim.Env
+	inj   *fault.Injector
+	rng   *sim.RNG
+	conns []sim.Time // per-connection free times
+
+	tails              *metrics.Counter
+	retries, exhausted *metrics.Counter
+	histBackoff        *metrics.Histogram
+}
+
+func newRemoteTier(cfg Config) *remoteTier {
+	return &remoteTier{
+		env:         cfg.Env,
+		inj:         cfg.Inj,
+		rng:         sim.NewRNG(cfg.Seed),
+		conns:       make([]sim.Time, remoteConns),
+		tails:       cfg.Met.Counter(metrics.SwapbackRemoteTailEvents),
+		retries:     cfg.Met.Counter(metrics.FaultDiskRetries),
+		exhausted:   cfg.Met.Counter(metrics.FaultDiskExhausted),
+		histBackoff: cfg.Met.Histogram(metrics.HistFaultBackoff),
+	}
+}
+
+func (t *remoteTier) submit(kind disk.Kind, slot int64, n int) sim.Time {
+	now := t.env.Now()
+	ci := 0
+	for i := 1; i < len(t.conns); i++ {
+		if t.conns[i] < t.conns[ci] {
+			ci = i
+		}
+	}
+	begin := t.conns[ci]
+	if now > begin {
+		begin = now
+	}
+	base := remoteBaseRTT + sim.Duration(int64(remotePerBlock)*int64(n))
+	svc := base
+	u := t.rng.Float64()
+	if u < remoteTailProb {
+		svc += remoteTailPenalty
+		t.tails.Inc()
+	} else {
+		// Re-scale the same draw to uniform jitter so each request costs
+		// exactly one variate.
+		svc += sim.Duration(float64(remoteJitterMax) * (u - remoteTailProb) / (1 - remoteTailProb))
+	}
+	// Injected faults model a poisoned remote read/write: the client
+	// retries with backoff, re-paying the request's wire cost each time.
+	svc += injectXfer(t.inj, kind == disk.Write, base, t.retries, t.exhausted, t.histBackoff)
+	done := begin.Add(svc)
+	t.conns[ci] = done
+	return done
+}
+
+func (t *remoteTier) backlog() sim.Duration {
+	min := t.conns[0]
+	for _, f := range t.conns[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min.Sub(t.env.Now())
+}

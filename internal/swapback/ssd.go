@@ -1,0 +1,72 @@
+package swapback
+
+import (
+	"vswapsim/internal/disk"
+	"vswapsim/internal/fault"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// ssdChannels is the flash package parallelism: up to this many requests
+// are serviced concurrently, and queueing only appears once all channels
+// are busy — the queue-depth-aware part of the model.
+const ssdChannels = 8
+
+// ssdTier models a SATA-era consumer SSD (disk.SSD840 parameters): no
+// position dependence, so service time is a fixed per-request overhead
+// plus per-block transfer. Each request is dispatched to the
+// earliest-free channel.
+type ssdTier struct {
+	env   *sim.Env
+	inj   *fault.Injector
+	model disk.LatencyModel
+	chans []sim.Time // per-channel free times
+
+	retries, exhausted *metrics.Counter
+	histBackoff        *metrics.Histogram
+}
+
+func newSSDTier(cfg Config) *ssdTier {
+	return &ssdTier{
+		env:         cfg.Env,
+		inj:         cfg.Inj,
+		model:       disk.SSD840(),
+		chans:       make([]sim.Time, ssdChannels),
+		retries:     cfg.Met.Counter(metrics.FaultDiskRetries),
+		exhausted:   cfg.Met.Counter(metrics.FaultDiskExhausted),
+		histBackoff: cfg.Met.Histogram(metrics.HistFaultBackoff),
+	}
+}
+
+func (t *ssdTier) service(n int) sim.Duration {
+	return sim.Duration(int64(t.model.PerBlockTransfer)*int64(n)) + t.model.RequestOverhead
+}
+
+func (t *ssdTier) submit(kind disk.Kind, slot int64, n int) sim.Time {
+	now := t.env.Now()
+	ci := 0
+	for i := 1; i < len(t.chans); i++ {
+		if t.chans[i] < t.chans[ci] {
+			ci = i
+		}
+	}
+	begin := t.chans[ci]
+	if now > begin {
+		begin = now
+	}
+	svc := t.service(n)
+	svc += injectXfer(t.inj, kind == disk.Write, t.service(n), t.retries, t.exhausted, t.histBackoff)
+	done := begin.Add(svc)
+	t.chans[ci] = done
+	return done
+}
+
+func (t *ssdTier) backlog() sim.Duration {
+	min := t.chans[0]
+	for _, f := range t.chans[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min.Sub(t.env.Now())
+}

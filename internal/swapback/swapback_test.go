@@ -1,0 +1,537 @@
+package swapback
+
+import (
+	"testing"
+
+	"vswapsim/internal/disk"
+	"vswapsim/internal/fault"
+	"vswapsim/internal/mem"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// testRig wires the minimum machine state a Store needs.
+type testRig struct {
+	env  *sim.Env
+	met  *metrics.Set
+	dev  *disk.Device
+	pool *mem.FramePool
+}
+
+func newRig(hostPages int) *testRig {
+	env := sim.NewEnv(1)
+	met := metrics.NewSet()
+	return &testRig{
+		env:  env,
+		met:  met,
+		dev:  disk.NewDevice(env, disk.Constellation7200(), met),
+		pool: mem.NewFramePool(hostPages),
+	}
+}
+
+func (r *testRig) config(kind Kind, policy Policy) Config {
+	return Config{
+		Kind: kind, Policy: policy,
+		Env: r.env, Met: r.met, Dev: r.dev,
+		Phys: func(slot int64) int64 { return slot },
+		Pool: r.pool,
+		Seed: 7,
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKind(""); err != nil || k != HDD {
+		t.Errorf("ParseKind(\"\") = %v, %v, want HDD", k, err)
+	}
+	if _, err := ParseKind("floppy"); err == nil {
+		t.Error("ParseKind accepted an unknown backend")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyWriteback, PolicyHot, PolicyFlat} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyWriteback {
+		t.Errorf("ParsePolicy(\"\") = %v, %v, want writeback", p, err)
+	}
+	if _, err := ParsePolicy("lru"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+// TestLatencyModels pins each tier's service-time math against the model
+// constants, table-driven over request sizes: the rotating drive pays
+// seek + rotation + transfer on a non-streaming request, the SSD pays
+// only overhead + transfer, and the remote tier pays an RTT + wire time
+// (plus jitter or a tail penalty, bounded below by the base cost).
+func TestLatencyModels(t *testing.T) {
+	hdd := disk.Constellation7200()
+	ssdModel := disk.SSD840()
+	for _, n := range []int{1, 8, 64} {
+		// HDD: a request far from the head position includes mechanical
+		// delay; the same request at the head is transfer-only.
+		random := hdd.Service(0, 1<<20, n)
+		stream := hdd.Service(1<<20, 1<<20, n)
+		xfer := sim.Duration(int64(hdd.PerBlockTransfer) * int64(n))
+		if stream != xfer {
+			t.Errorf("hdd streaming n=%d: got %v, want pure transfer %v", n, stream, xfer)
+		}
+		if random <= stream {
+			t.Errorf("hdd random n=%d: %v not slower than streaming %v", n, random, stream)
+		}
+
+		rig := newRig(1 << 10)
+		ssd := newSSDTier(rig.config(SSD, PolicyWriteback))
+		wantSSD := sim.Duration(int64(ssdModel.PerBlockTransfer)*int64(n)) + ssdModel.RequestOverhead
+		if got := ssd.service(n); got != wantSSD {
+			t.Errorf("ssd service n=%d: got %v, want %v", n, got, wantSSD)
+		}
+		if random <= wantSSD {
+			t.Errorf("hdd random n=%d (%v) should dominate ssd (%v)", n, random, wantSSD)
+		}
+
+		remote := newRemoteTier(rig.config(Remote, PolicyWriteback))
+		base := remoteBaseRTT + sim.Duration(int64(remotePerBlock)*int64(n))
+		done := remote.submit(disk.Read, 0, n)
+		svc := done.Sub(sim.Time(0))
+		if svc < base {
+			t.Errorf("remote n=%d: service %v below base %v", n, svc, base)
+		}
+		if svc > base+remoteTailPenalty+remoteJitterMax {
+			t.Errorf("remote n=%d: service %v above tail bound", n, svc)
+		}
+	}
+}
+
+// TestRemoteTailDeterminism: the tail schedule is a pure function of the
+// seed — two tiers with the same seed produce identical completion times
+// and tail counts; a different seed produces a different schedule.
+func TestRemoteTailDeterminism(t *testing.T) {
+	run := func(seed uint64) ([]sim.Time, int64) {
+		rig := newRig(1 << 10)
+		cfg := rig.config(Remote, PolicyWriteback)
+		cfg.Seed = seed
+		tier := newRemoteTier(cfg)
+		var times []sim.Time
+		for i := 0; i < 500; i++ {
+			times = append(times, tier.submit(disk.Read, int64(i), 8))
+		}
+		return times, rig.met.Counter(metrics.SwapbackRemoteTailEvents).Value()
+	}
+	a, tailsA := run(7)
+	b, tailsB := run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if tailsA != tailsB {
+		t.Fatalf("same seed, different tail counts: %d vs %d", tailsA, tailsB)
+	}
+	if tailsA == 0 {
+		t.Error("no tail events in 500 requests at p=0.02")
+	}
+	c, _ := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestSSDQueueDepth: requests beyond the channel count queue behind the
+// earliest-free channel instead of all completing in parallel.
+func TestSSDQueueDepth(t *testing.T) {
+	rig := newRig(1 << 10)
+	tier := newSSDTier(rig.config(SSD, PolicyWriteback))
+	svc := tier.service(8)
+	var last sim.Time
+	for i := 0; i < ssdChannels; i++ {
+		last = tier.submit(disk.Read, int64(i), 8)
+	}
+	if last != sim.Time(0).Add(svc) {
+		t.Fatalf("first %d requests should run in parallel: last done %v, want %v", ssdChannels, last, svc)
+	}
+	queued := tier.submit(disk.Read, 99, 8)
+	if queued != sim.Time(0).Add(2*svc) {
+		t.Fatalf("request %d should queue: done %v, want %v", ssdChannels+1, queued, 2*svc)
+	}
+	// Backlog reports the wait until the earliest channel frees — the
+	// seven idle-at-svc channels, not the doubly-loaded one.
+	if got := tier.backlog(); got != svc {
+		t.Fatalf("backlog = %v, want %v", got, svc)
+	}
+}
+
+// TestZswapAccounting covers the compressed pool's capacity machinery:
+// ratio-dependent byte charging, frame-granular growth against the host
+// pool, overwrite replacement, capacity rejection, and drop releasing
+// frames back.
+func TestZswapAccounting(t *testing.T) {
+	rig := newRig(1 << 10)
+	z := newZswapPool(rig.config(Zswap, PolicyWriteback))
+
+	// Find a compressible and an incompressible key under this seed.
+	compressible, incompressible := uint64(0), uint64(0)
+	for k := uint64(1); compressible == 0 || incompressible == 0; k++ {
+		if z.compressedBytes(k) == 0 {
+			if incompressible == 0 {
+				incompressible = k
+			}
+		} else if compressible == 0 {
+			compressible = k
+		}
+	}
+
+	if z.store(1, incompressible) {
+		t.Fatal("stored an incompressible page")
+	}
+	if got := rig.met.Counter(metrics.SwapbackFastIncompressiblePages).Value(); got != 1 {
+		t.Fatalf("incompressible counter = %d, want 1", got)
+	}
+
+	want := z.compressedBytes(compressible)
+	if want <= 0 || want >= mem.PageSize {
+		t.Fatalf("compressedBytes = %d, want in (0, %d)", want, mem.PageSize)
+	}
+	free := rig.pool.Free()
+	if !z.store(1, compressible) {
+		t.Fatal("store of a compressible page failed with an empty pool")
+	}
+	if z.usedBytes != want {
+		t.Fatalf("usedBytes = %d, want %d", z.usedBytes, want)
+	}
+	if z.frames != 1 || rig.pool.Free() != free-1 {
+		t.Fatalf("frames = %d (pool free %d -> %d), want exactly one frame grabbed", z.frames, free, rig.pool.Free())
+	}
+
+	// Overwriting the same slot replaces the copy, not duplicates it.
+	if !z.store(1, compressible) {
+		t.Fatal("overwrite store failed")
+	}
+	if z.usedBytes != want {
+		t.Fatalf("overwrite changed usedBytes to %d, want %d", z.usedBytes, want)
+	}
+
+	z.drop(1)
+	if z.usedBytes != 0 || z.frames != 0 || rig.pool.Free() != free {
+		t.Fatalf("drop left usedBytes=%d frames=%d free=%d, want all released", z.usedBytes, z.frames, rig.pool.Free())
+	}
+
+	// Fill to capacity: stores must stop before exceeding capBytes.
+	slot, k := int64(100), compressible
+	for {
+		if z.compressedBytes(k) == 0 { // skip incompressible keys
+			k = mix64(k) | 1
+			continue
+		}
+		if !z.store(slot, k) {
+			break
+		}
+		slot++
+		k = mix64(k) | 1
+	}
+	if z.usedBytes > z.capBytes {
+		t.Fatalf("pool overfilled: used %d > cap %d", z.usedBytes, z.capBytes)
+	}
+	if rig.met.Counter(metrics.SwapbackFastRejectPages).Value() == 0 {
+		t.Fatal("no reject counted at capacity")
+	}
+}
+
+// TestZswapReserveFloor: the pool refuses to grow when host free frames
+// would dip under the reserve, even with byte capacity to spare.
+func TestZswapReserveFloor(t *testing.T) {
+	rig := newRig(1 << 10)
+	z := newZswapPool(rig.config(Zswap, PolicyWriteback))
+	rig.pool.Grab(rig.pool.Free() - zswapReserveFrames) // leave exactly the reserve
+	key := uint64(1)
+	for z.compressedBytes(key) == 0 {
+		key++
+	}
+	if z.store(1, key) {
+		t.Fatal("pool grew into the reserve floor")
+	}
+	if rig.met.Counter(metrics.SwapbackFastRejectPages).Value() != 1 {
+		t.Fatal("reserve refusal not counted as a reject")
+	}
+}
+
+// TestZswapFIFOSlotReuse: popOldest must skip FIFO items whose slot was
+// freed and re-stored since enqueue (seq mismatch), never demoting a
+// fresh copy in place of a stale one.
+func TestZswapFIFOSlotReuse(t *testing.T) {
+	rig := newRig(1 << 10)
+	z := newZswapPool(rig.config(Zswap, PolicyWriteback))
+	keys := make([]uint64, 0, 3)
+	for k := uint64(1); len(keys) < 3; k++ {
+		if z.compressedBytes(k) != 0 {
+			keys = append(keys, k)
+		}
+	}
+	z.store(1, keys[0])
+	z.store(2, keys[1])
+	z.drop(1)           // slot freed: FIFO item for (1, seq1) is now stale
+	z.store(1, keys[2]) // slot reused with new content
+
+	slot, ok := z.popOldest()
+	if !ok || slot != 2 {
+		t.Fatalf("popOldest = %d, %v; want slot 2 (stale slot-1 item skipped)", slot, ok)
+	}
+	slot, ok = z.popOldest()
+	if !ok || slot != 1 {
+		t.Fatalf("popOldest = %d, %v; want the re-stored slot 1", slot, ok)
+	}
+	if _, ok := z.popOldest(); ok {
+		t.Fatal("popOldest returned an entry from an empty pool")
+	}
+}
+
+// TestHeatRing: membership tracks the last `size` additions, with ring
+// eviction removing the oldest key once full (unless re-added since).
+func TestHeatRing(t *testing.T) {
+	h := newHeatRing(4)
+	for k := uint64(1); k <= 4; k++ {
+		h.add(k)
+	}
+	for k := uint64(1); k <= 4; k++ {
+		if !h.contains(k) {
+			t.Fatalf("key %d missing before eviction", k)
+		}
+	}
+	h.add(5) // evicts 1
+	if h.contains(1) || !h.contains(5) {
+		t.Fatal("ring eviction did not replace the oldest key")
+	}
+	h.add(2) // re-add: 2 now occupies two ring positions
+	h.add(6) // evicts one copy of 2 (position of the original 2... evicts 3)
+	if !h.contains(2) {
+		t.Fatal("re-added key evicted while still in the ring")
+	}
+}
+
+// TestPolicyPlacement: flat never admits, writeback admits compressible
+// pages, hotfirst admits only after a NoteRefault and counts promotions.
+func TestPolicyPlacement(t *testing.T) {
+	slots := []int64{10}
+	isCompressible := func(st *Store, slot int64) bool {
+		return newZswapPool(st.config()).compressedBytes(uint64(slot)) != 0
+	}
+	_ = isCompressible
+
+	build := func(p Policy) (*testRig, *Store) {
+		rig := newRig(1 << 10)
+		return rig, New(rig.config(Zswap, p))
+	}
+
+	// Pick a slot whose identity compresses under seed 7.
+	probeRig := newRig(1 << 10)
+	probe := newZswapPool(probeRig.config(Zswap, PolicyWriteback))
+	for probe.compressedBytes(uint64(slots[0])) == 0 {
+		slots[0]++
+	}
+
+	rig, st := build(PolicyFlat)
+	st.SubmitWrite(slots)
+	if got := rig.met.Counter(metrics.SwapbackFastStorePages).Value(); got != 0 {
+		t.Fatalf("flat policy stored %d pages", got)
+	}
+
+	rig, st = build(PolicyWriteback)
+	st.SubmitWrite(slots)
+	if got := rig.met.Counter(metrics.SwapbackFastStorePages).Value(); got != 1 {
+		t.Fatalf("writeback policy stored %d pages, want 1", got)
+	}
+
+	rig, st = build(PolicyHot)
+	st.SubmitWrite(slots)
+	if got := rig.met.Counter(metrics.SwapbackFastStorePages).Value(); got != 0 {
+		t.Fatalf("hotfirst admitted a cold page (%d stored)", got)
+	}
+	st.NoteRefault(slots[0])
+	st.SubmitWrite(slots)
+	if got := rig.met.Counter(metrics.SwapbackFastStorePages).Value(); got != 1 {
+		t.Fatalf("hotfirst did not admit a re-faulted page (%d stored)", got)
+	}
+	if got := rig.met.Counter(metrics.SwapbackPromotePages).Value(); got != 1 {
+		t.Fatalf("promote counter = %d, want 1", got)
+	}
+}
+
+// config lets a test re-derive the zswap parameters a Store was built
+// with (the pool probe in TestPolicyPlacement).
+func (st *Store) config() Config {
+	return Config{
+		Kind: st.kind, Policy: st.policy, Env: st.env,
+		Met: metrics.NewSet(), Dev: st.dev, Phys: st.phys, Seed: 7,
+		Pool: mem.NewFramePool(1 << 10),
+	}
+}
+
+// TestBackgroundDemotion: once the pool crosses 90% occupancy a tick
+// demotes FIFO-oldest entries to the slow tier until it is back under
+// 70%, counting demotions and slow-tier writes.
+func TestBackgroundDemotion(t *testing.T) {
+	rig := newRig(1 << 14)
+	st := New(rig.config(Zswap, PolicyWriteback))
+	z := st.fast
+
+	slot := int64(1)
+	for z.usedBytes <= z.capBytes*9/10 {
+		key := uint64(slot)
+		if z.compressedBytes(key) == 0 {
+			slot++
+			continue
+		}
+		if !z.store(slot, key) {
+			t.Fatalf("store failed at %d/%d bytes with frames to spare", z.usedBytes, z.capBytes)
+		}
+		slot++
+	}
+	writesBefore := rig.met.Counter(metrics.SwapWriteOps).Value()
+	st.BackgroundTick()
+	if z.usedBytes > z.capBytes*7/10 {
+		t.Fatalf("tick left pool at %d/%d bytes, want <= 70%%", z.usedBytes, z.capBytes)
+	}
+	demoted := rig.met.Counter(metrics.SwapbackDemotePages).Value()
+	if demoted == 0 {
+		t.Fatal("no demotions counted")
+	}
+	if got := rig.met.Counter(metrics.SwapWriteOps).Value() - writesBefore; got != demoted {
+		t.Fatalf("demotion wrote %d ops for %d pages; hostswap.write must count demotion traffic", got, demoted)
+	}
+	// Below the high watermark a tick is a no-op.
+	used := z.usedBytes
+	st.BackgroundTick()
+	if z.usedBytes != used {
+		t.Fatal("tick demoted below the high watermark")
+	}
+}
+
+// TestInjectXferMirrorsDeviceRetries: the shared retry helper pays the
+// same bounded exponential backoff the disk firmware model uses and
+// counts retries/exhaustion.
+func TestInjectXferMirrorsDeviceRetries(t *testing.T) {
+	met := metrics.NewSet()
+	retries := met.Counter(metrics.FaultDiskRetries)
+	exhausted := met.Counter(metrics.FaultDiskExhausted)
+	hist := met.Histogram(metrics.HistFaultBackoff)
+
+	if d := injectXfer(nil, false, sim.Millisecond, retries, exhausted, hist); d != 0 {
+		t.Fatalf("nil injector added %v", d)
+	}
+
+	// A certain error rate exhausts the retry budget deterministically.
+	inj := fault.New(fault.MustParse("disk-read-err:1"), 3, met)
+	base := sim.Millisecond
+	extra := injectXfer(inj, false, base, retries, exhausted, hist)
+	var want sim.Duration
+	for r := 0; r < xferMaxRetries; r++ {
+		want += (xferRetryBackoff << r) + base
+	}
+	if extra != want {
+		t.Fatalf("exhausted-retries extra = %v, want %v", extra, want)
+	}
+	if retries.Value() != xferMaxRetries || exhausted.Value() != 1 {
+		t.Fatalf("retries=%d exhausted=%d, want %d/1", retries.Value(), exhausted.Value(), xferMaxRetries)
+	}
+}
+
+// TestFaultInjectionReachesEveryTier: a disk fault plan must perturb the
+// ssd and remote tiers (retry counters fire) and corrupt compressed
+// copies in the zswap tier (corruption counter fires, reads fall back to
+// the slow tier without losing data).
+func TestFaultInjectionReachesEveryTier(t *testing.T) {
+	plan := fault.MustParse("disk-read-err:0.3;disk-write-err:0.3")
+
+	for _, kind := range []Kind{SSD, Remote} {
+		rig := newRig(1 << 10)
+		cfg := rig.config(kind, PolicyWriteback)
+		cfg.Inj = fault.New(plan, 5, rig.met)
+		st := New(cfg)
+		for i := int64(0); i < 50; i++ {
+			st.SubmitWrite([]int64{i})
+			st.SubmitRead1(i)
+		}
+		if rig.met.Counter(metrics.FaultDiskRetries).Value() == 0 {
+			t.Errorf("%s tier: no retries under a 30%% error plan", kind)
+		}
+	}
+
+	rig := newRig(1 << 10)
+	cfg := rig.config(Zswap, PolicyWriteback)
+	cfg.Inj = fault.New(plan, 5, rig.met)
+	st := New(cfg)
+	stored := 0
+	for i := int64(0); i < 200; i++ {
+		st.SubmitWrite([]int64{i})
+		if st.fast.contains(i) {
+			stored++
+		}
+	}
+	if stored == 0 {
+		t.Fatal("no pages admitted to the compressed pool")
+	}
+	for i := int64(0); i < 200; i++ {
+		st.SubmitRead1(i)
+	}
+	corrupt := rig.met.Counter(metrics.SwapbackFastCorruptPages).Value()
+	if corrupt == 0 {
+		t.Fatal("zswap tier: no corrupted copies under a 30% error plan")
+	}
+	// Every corrupted copy must have been dropped and re-read from the
+	// slow tier: loads + corruptions cannot exceed what was stored, and
+	// the pool no longer holds the corrupted slots.
+	loads := rig.met.Counter(metrics.SwapbackFastLoadPages).Value()
+	if loads+corrupt != int64(stored) {
+		t.Fatalf("loads(%d) + corrupt(%d) != stored(%d)", loads, corrupt, stored)
+	}
+}
+
+// TestHDDStoreIsTransparent: the default backend issues the identical
+// device request the pre-backend code issued — same completion time as a
+// direct Submit on a twin device — with no swapback.* metrics resolved.
+func TestHDDStoreIsTransparent(t *testing.T) {
+	rig := newRig(1 << 10)
+	st := New(rig.config(HDD, PolicyWriteback))
+
+	twinEnv := sim.NewEnv(1)
+	twinMet := metrics.NewSet()
+	twin := disk.NewDevice(twinEnv, disk.Constellation7200(), twinMet)
+
+	slots := []int64{5, 6, 7, 8}
+	if got, want := st.SubmitRead(slots), twin.Submit(disk.Read, 5, 4); got != want {
+		t.Fatalf("SubmitRead done=%v, direct Submit=%v", got, want)
+	}
+	st.SubmitWrite(slots)
+	twin.Submit(disk.Write, 5, 4)
+	if got, want := st.Backlog(), twin.FreeAt().Sub(twinEnv.Now()); got != want {
+		t.Fatalf("Backlog=%v, twin=%v", got, want)
+	}
+	for _, name := range []string{
+		metrics.SwapbackReadOps, metrics.SwapbackWriteOps,
+		metrics.SwapbackFastStorePages, metrics.SwapbackRemoteTailEvents,
+	} {
+		if _, ok := rig.met.Snapshot()[name]; ok {
+			t.Errorf("default backend resolved %s", name)
+		}
+	}
+	// Free/NoteRefault/BackgroundTick are no-ops, not crashes.
+	st.Free(5)
+	st.NoteRefault(6)
+	st.BackgroundTick()
+}

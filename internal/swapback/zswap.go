@@ -1,0 +1,229 @@
+package swapback
+
+import (
+	"vswapsim/internal/mem"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// Zswap model parameters. The pool stores compressed page copies in host
+// RAM, charging whole frames against the machine's frame pool; pages whose
+// content does not compress well are refused and go to the slow tier, as
+// real zswap does.
+const (
+	// zswapCapDivisor bounds the pool at capacity/zswapCapDivisor of host
+	// memory (Linux zswap's max_pool_percent default is 20; we stay at 10
+	// so the pool never starves reclaim of the frames it is trying to
+	// free).
+	zswapCapDivisor = 10
+	// zswapReserveFrames is the free-frame floor the pool refuses to grab
+	// below: stores must never push the frame pool into the territory
+	// direct reclaim is fighting for, or reclaim's own swap writes would
+	// consume what they free (livelock).
+	zswapReserveFrames = 64
+	// zswapIncompressiblePct of pages (by content hash) are refused as
+	// incompressible.
+	zswapIncompressiblePct = 10
+	// Compressed-size ratios are drawn uniformly from [min,max] per page.
+	zswapMinRatio = 0.15
+	zswapMaxRatio = 0.85
+	// zswapDecompressCost is the CPU cost of decompressing one page on a
+	// fast hit (LZO-class).
+	zswapDecompressCost = 2 * sim.Microsecond
+	// heatRingSize bounds the PolicyHot re-fault ring.
+	heatRingSize = 4096
+)
+
+// zentry is one compressed page copy, keyed by swap slot. seq guards
+// against slot reuse: the FIFO holds (slot, seq) items and skips entries
+// whose slot was freed and re-stored since enqueue.
+type zentry struct {
+	bytes int64
+	seq   uint64
+}
+
+type fifoItem struct {
+	slot int64
+	seq  uint64
+}
+
+// zswapPool is the compressed-RAM tier: a slot-keyed entry table with FIFO
+// demotion order and frame-granular capacity accounting against the host
+// pool. The entry map is only ever probed by key — iteration order never
+// influences the simulation, keeping runs deterministic.
+type zswapPool struct {
+	pool       *mem.FramePool
+	seed       uint64
+	capBytes   int64
+	usedBytes  int64
+	frames     int // host frames currently grabbed for compressed storage
+	entries    map[int64]zentry
+	fifo       []fifoItem
+	fifoHead   int
+	seq        uint64
+	decompress sim.Duration
+
+	stored, load, reject, incompressible, corrupt, demoted *metrics.Counter
+}
+
+func newZswapPool(cfg Config) *zswapPool {
+	return &zswapPool{
+		pool:           cfg.Pool,
+		seed:           cfg.Seed,
+		capBytes:       mem.Bytes(cfg.Pool.Capacity()) / zswapCapDivisor,
+		entries:        make(map[int64]zentry),
+		decompress:     zswapDecompressCost,
+		stored:         cfg.Met.Counter(metrics.SwapbackFastStorePages),
+		load:           cfg.Met.Counter(metrics.SwapbackFastLoadPages),
+		reject:         cfg.Met.Counter(metrics.SwapbackFastRejectPages),
+		incompressible: cfg.Met.Counter(metrics.SwapbackFastIncompressiblePages),
+		corrupt:        cfg.Met.Counter(metrics.SwapbackFastCorruptPages),
+		demoted:        cfg.Met.Counter(metrics.SwapbackDemotePages),
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed hash for
+// deriving per-page properties from (seed, page identity).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// compressedBytes derives the page's compressed size from its identity:
+// stable across slot reuse and across store/drop cycles, as real content
+// compressibility is. Returns 0 for incompressible pages.
+func (z *zswapPool) compressedBytes(key uint64) int64 {
+	u := mix64(z.seed ^ key)
+	if u%100 < zswapIncompressiblePct {
+		return 0
+	}
+	frac := float64(u>>11) / (1 << 53)
+	ratio := zswapMinRatio + (zswapMaxRatio-zswapMinRatio)*frac
+	return int64(ratio * float64(mem.PageSize))
+}
+
+// store admits one page into the pool, charging frames as the compressed
+// heap grows. Returns false (and counts why) when the page is
+// incompressible, the pool is at capacity, or host frames are too scarce
+// to grow into.
+func (z *zswapPool) store(slot int64, key uint64) bool {
+	bytes := z.compressedBytes(key)
+	if bytes == 0 {
+		z.incompressible.Inc()
+		return false
+	}
+	// A dirty page rewritten to a slot it already occupies replaces the
+	// stale compressed copy.
+	if e, ok := z.entries[slot]; ok {
+		delete(z.entries, slot)
+		z.releaseBytes(e.bytes)
+	}
+	if z.usedBytes+bytes > z.capBytes {
+		z.reject.Inc()
+		return false
+	}
+	newFrames := int((z.usedBytes + bytes + mem.PageSize - 1) / mem.PageSize)
+	if d := newFrames - z.frames; d > 0 {
+		if z.pool.Free() < d+zswapReserveFrames {
+			z.reject.Inc()
+			return false
+		}
+		z.pool.Grab(d)
+		z.frames = newFrames
+	}
+	z.usedBytes += bytes
+	z.seq++
+	z.entries[slot] = zentry{bytes: bytes, seq: z.seq}
+	z.fifo = append(z.fifo, fifoItem{slot: slot, seq: z.seq})
+	z.stored.Inc()
+	return true
+}
+
+// contains reports whether the pool holds a copy of the slot.
+func (z *zswapPool) contains(slot int64) bool {
+	_, ok := z.entries[slot]
+	return ok
+}
+
+// drop removes the slot's entry (slot freed, or copy corrupted), releasing
+// surplus frames. Its FIFO item goes stale and is skipped on pop.
+func (z *zswapPool) drop(slot int64) {
+	if e, ok := z.entries[slot]; ok {
+		delete(z.entries, slot)
+		z.releaseBytes(e.bytes)
+	}
+}
+
+// popOldest removes and returns the oldest live entry's slot (FIFO
+// demotion order), skipping stale items.
+func (z *zswapPool) popOldest() (int64, bool) {
+	for z.fifoHead < len(z.fifo) {
+		it := z.fifo[z.fifoHead]
+		z.fifoHead++
+		if e, ok := z.entries[it.slot]; ok && e.seq == it.seq {
+			delete(z.entries, it.slot)
+			z.releaseBytes(e.bytes)
+			z.compact()
+			return it.slot, true
+		}
+	}
+	z.compact()
+	return 0, false
+}
+
+func (z *zswapPool) releaseBytes(b int64) {
+	z.usedBytes -= b
+	newFrames := int((z.usedBytes + mem.PageSize - 1) / mem.PageSize)
+	if d := z.frames - newFrames; d > 0 {
+		z.pool.Release(d)
+		z.frames = newFrames
+	}
+}
+
+// compact reclaims the consumed FIFO prefix once it dominates the slice.
+func (z *zswapPool) compact() {
+	if z.fifoHead > 1024 && z.fifoHead > len(z.fifo)/2 {
+		n := copy(z.fifo, z.fifo[z.fifoHead:])
+		z.fifo = z.fifo[:n]
+		z.fifoHead = 0
+	}
+}
+
+// heatRing is a bounded ring of recently re-faulted page identities with
+// O(1) membership, feeding PolicyHot's admission decision.
+type heatRing struct {
+	keys  []uint64
+	pos   int
+	n     int
+	count map[uint64]int
+}
+
+func newHeatRing(size int) *heatRing {
+	return &heatRing{keys: make([]uint64, size), count: make(map[uint64]int, size)}
+}
+
+func (h *heatRing) add(key uint64) {
+	if h.n == len(h.keys) {
+		old := h.keys[h.pos]
+		if c := h.count[old]; c <= 1 {
+			delete(h.count, old)
+		} else {
+			h.count[old] = c - 1
+		}
+	} else {
+		h.n++
+	}
+	h.keys[h.pos] = key
+	h.pos++
+	if h.pos == len(h.keys) {
+		h.pos = 0
+	}
+	h.count[key]++
+}
+
+func (h *heatRing) contains(key uint64) bool { return h.count[key] > 0 }
