@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+
+	"vswapsim/internal/guest"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+)
+
+// This file is the per-guest driver: each admitted guest runs as one
+// cluster-level process that boots a VM on its assigned host, runs its
+// workload units inside a guest thread, and services the monitor's
+// decisions — migration and kill — only at unit boundaries (the guest's
+// natural quiesce points), so re-homing never races a unit in flight.
+
+// startGuest launches the guest's driver process on the shared loop.
+func (c *Cluster) startGuest(g *Guest) {
+	c.Env.Go("cluster-guest/"+g.Name, func(p *sim.Proc) {
+		g.admitted = p.Now()
+		c.createVM(p, g)
+		for {
+			c.runIncarnation(p, g)
+			if g.killReq || (g.pr != nil && g.pr.Killed) {
+				c.killGuest(p, g)
+				break
+			}
+			if g.unitsDone >= g.Units {
+				c.retireGuest(p, g)
+				break
+			}
+			if g.dest != nil {
+				c.migrateGuest(p, g)
+			}
+		}
+		c.remaining--
+		if c.remaining == 0 {
+			c.finish()
+		}
+	})
+}
+
+// createVM gives the guest a fresh VM and server process on its current
+// host. The VM name carries the incarnation so re-homing after a
+// migration never collides with the disk-image region a previous
+// incarnation reserved.
+func (c *Cluster) createVM(p *sim.Proc, g *Guest) {
+	h := g.host
+	g.vm = h.M.NewVM(hyper.VMConfig{
+		Name:       fmt.Sprintf("%s.%d", g.Name, g.incarnation),
+		MemPages:   g.MemPages,
+		VCPUs:      1,
+		DiskBlocks: c.Cfg.GuestDiskBlocks,
+		Mapper:     c.Cfg.Mapper,
+		Preventer:  c.Cfg.Preventer,
+		GuestAPF:   true,
+	})
+	g.vm.Boot(p)
+	g.pr = g.vm.OS.NewProcess(g.Name)
+	g.pr.Reserve(g.WSPages)
+}
+
+// runIncarnation runs workload units inside the guest until the guest
+// finishes, a monitor decision lands, or the guest's own OOM killer gets
+// the server process.
+func (c *Cluster) runIncarnation(p *sim.Proc, g *Guest) {
+	pr := g.pr
+	done := sim.NewSignal(c.Env)
+	finished := false
+	g.vm.OS.Go(g.Name+"/srv", pr, func(t *guest.Thread) {
+		for g.unitsDone < g.Units && !g.killReq && g.dest == nil && !t.ProcKilled() {
+			start := t.P.Now()
+			c.runUnit(t, pr, g)
+			t.FlushCPU()
+			if t.ProcKilled() {
+				break
+			}
+			c.unitHist.Observe(t.P.Now().Sub(start))
+			c.Met.Inc(metrics.ClusterUnits)
+			g.unitsDone++
+		}
+		finished = true
+		done.Broadcast()
+	})
+	for !finished {
+		done.Wait(p)
+	}
+}
+
+// runUnit is one serving unit: a full strided walk of the guest's working
+// set (every fourth touch a write, so reclaim sees dirty anonymous
+// memory) plus the unit's pure-CPU compute. The stride is coprime with
+// WSPages, so the walk covers every page but never two adjacent ones in a
+// row — a pressured host pays seek-bound swap-ins, not one prefetchable
+// stream. Unit latency is wall time between boundaries, so those stalls
+// land directly in the fleet histogram.
+func (c *Cluster) runUnit(t *guest.Thread, pr *guest.Process, g *Guest) {
+	// In phased mode the guest walks its full working set only during its
+	// hot phase (one phase in three, on its seeded offset) and a quarter
+	// of it otherwise — transient, colliding demand instead of a constant
+	// load.
+	ws := g.WSPages
+	if pu := c.Cfg.PhaseUnits; pu > 0 {
+		if cycle := g.unitsDone / pu; (cycle+g.phase)%3 != 0 {
+			ws = g.WSPages / 4
+		}
+	}
+	if ws < 1 {
+		ws = 1
+	}
+	// Rotate among coprime strides and shift the start point each unit, so
+	// consecutive units visit the working set in different orders: pages
+	// swapped out in one unit's eviction order are not refaulted in that
+	// same order by the next, which is what keeps readahead from turning
+	// genuine thrash into a cheap stream.
+	stride := g.stride + 2*(g.unitsDone%4)
+	for gcd(stride, ws) != 1 {
+		stride += 2
+	}
+	stride %= ws
+	if stride == 0 {
+		stride = 1 % ws
+	}
+	idx := (g.unitsDone * 97) % ws
+	for i := 0; i < ws; i++ {
+		if t.ProcKilled() {
+			return
+		}
+		t.TouchAnon(pr, idx, i%4 == 0)
+		idx += stride
+		if idx >= ws {
+			idx -= ws
+		}
+	}
+	t.Compute(c.Cfg.UnitCompute)
+}
+
+// coprimeStride picks the base walk step for a working set of n pages:
+// the first candidate at or above ~n/3 that is coprime with n, so
+// successive touches are far apart and the walk still visits every page
+// exactly once.
+func coprimeStride(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	for s := n/3 | 1; ; s += 2 {
+		if gcd(s, n) == 1 {
+			return s
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// migrateGuest executes the monitor's relocation decision at a unit
+// boundary: plan against the real destination, refuse deterministically
+// if it lacks headroom, otherwise charge the stop-and-copy downtime,
+// release the source residence, and re-home onto the destination (memory
+// refaults lazily there, modeling post-migration cold state).
+func (c *Cluster) migrateGuest(p *sim.Proc, g *Guest) {
+	dest := g.dest
+	res := g.vm.Migrate(p, hyper.MigrationConfig{
+		UseMappings: c.Cfg.Mapper,
+		Dest:        dest.M,
+	})
+	if res.Refused {
+		c.Met.Inc(metrics.ClusterMigrateRefused)
+		dest.commit -= g.MemPages
+		g.dest = nil
+		return
+	}
+	src := g.host
+	g.pr.Exit()
+	g.vm.OS.Shutdown()
+	g.vm.Release(p)
+	src.commit -= g.MemPages
+	g.host = dest
+	g.dest = nil
+	g.incarnation++
+	g.placements++
+	g.migrations++
+	c.Met.Inc(metrics.ClusterMigrations)
+	c.Met.Inc(metrics.ClusterPlacements)
+	c.createVM(p, g)
+}
+
+// killGuest tears the guest down for good: soomkiller decision or the
+// guest's own OOM kill both end here, and the guest never revives.
+func (c *Cluster) killGuest(p *sim.Proc, g *Guest) {
+	soom := g.killReq
+	if g.pr != nil && g.pr.Killed {
+		g.oomKilled = true
+	}
+	if g.pr != nil && !g.pr.Killed {
+		g.pr.Exit()
+	}
+	g.vm.OS.Shutdown()
+	g.vm.Release(p)
+	g.host.commit -= g.MemPages
+	if g.dest != nil {
+		g.dest.commit -= g.MemPages
+		g.dest = nil
+	}
+	g.host = nil
+	g.vm = nil
+	g.pr = nil
+	g.killed = true
+	g.unitsAtKill = g.unitsDone
+	if soom {
+		c.Met.Inc(metrics.ClusterKills)
+	}
+}
+
+// retireGuest releases a guest that completed all its units — the job is
+// done, so its VM gives the capacity back.
+func (c *Cluster) retireGuest(p *sim.Proc, g *Guest) {
+	g.pr.Exit()
+	g.vm.OS.Shutdown()
+	g.vm.Release(p)
+	g.host.commit -= g.MemPages
+	if g.dest != nil {
+		g.dest.commit -= g.MemPages
+		g.dest = nil
+	}
+	g.host = nil
+	g.vm = nil
+	g.pr = nil
+	g.done = true
+	c.guestHist.Observe(p.Now().Sub(g.admitted))
+}

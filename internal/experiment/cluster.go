@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"vswapsim/internal/cluster"
+	"vswapsim/internal/hyper"
+	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
+	"vswapsim/internal/swapback"
+)
+
+// This file is the cluster cell: one multi-host scheduler run (ROADMAP
+// item 4) executed under the standard hardening envelope. A cell builds
+// one shared sim.Env, N hyper machines on it, and the internal/cluster
+// scheduler/monitor; the fan-out axis is the remediation policy, so
+// clusterN and the cluster: scenario mode compare policies on fleet-wide
+// p95/p99 unit latency and kill counts.
+
+// clusterCfg sizes a cluster cell. All MB figures are pre-scale.
+type clusterCfg struct {
+	hosts  int
+	hostMB int
+	// hostNames/hostMBs, when non-empty, override the homogeneous
+	// hosts×hostMB form with an explicitly-sized host list (the scenario
+	// layer's heterogeneous form).
+	hostNames     []string
+	hostMBs       []int
+	guestMB       int
+	wsMinPct      int
+	wsMaxPct      int
+	units         int
+	phaseUnits    int
+	unitComputeMS int
+	staggerMS     int
+	diskMB        int
+	packing       cluster.Packing
+	threshold     float64
+	sampleSec     int
+	cooldownSec   int
+	maxCommit     float64
+	swapback      swapback.Kind
+}
+
+// defaultClusterCfg is the clusterN configuration: four 1 GB hosts,
+// 256 MB guests with heterogeneous 60-95% working sets on staggered
+// hot/cold phases, a 2.5x commit bound and a balanced-pressure packer.
+func defaultClusterCfg() clusterCfg {
+	return clusterCfg{
+		hosts: 4, hostMB: 1024, guestMB: 256,
+		wsMinPct: 60, wsMaxPct: 95,
+		units: 120, phaseUnits: 40, unitComputeMS: 20, staggerMS: 20, diskMB: 1024,
+		packing:   cluster.BalancedPressure,
+		threshold: 0.05, sampleSec: 1, cooldownSec: 2,
+		maxCommit: 2.5,
+		// SSD swap keeps a pressured host's units moderately slow instead of
+		// catastrophically rare-slow, so fleet percentiles see the thrash.
+		swapback: swapback.SSD,
+	}
+}
+
+// clusterOut is one completed cluster cell in structured form.
+type clusterOut struct {
+	p95NS, p99NS   int64 // per-unit latency quantiles
+	gp95NS, gp99NS int64 // per-guest workload latency quantiles
+	units          int64
+	kills          int64
+	migrations     int64
+	refused        int64
+	failed         bool
+}
+
+// runCluster executes one cluster cell and returns its structured
+// outcome. seed, when nonzero, overrides o.Seed so fan-out cells get
+// independent derived streams.
+func runCluster(o Options, s Scheme, remedy cluster.Remediation, n int, seed uint64, cc clusterCfg) (clusterOut, *FailureRecord) {
+	o = o.normalized()
+	release := o.acquire()
+	defer release()
+	if seed == 0 {
+		seed = o.Seed
+	}
+	label := fmt.Sprintf("cluster/%s/%s/guests%d/seed%016x", s, remedy, n, seed)
+
+	// The -swapback flag still overrides the cell's tier; the cell default
+	// (SSD for clusterN) only applies when the option is left at its zero
+	// value (HDD).
+	sb := o.Swapback
+	if sb == swapback.HDD {
+		sb = cc.swapback
+	}
+
+	var out clusterOut
+	var cl *cluster.Cluster
+	st := &cellState{}
+	failed := o.runShielded(label, seed, st, func() {
+		env := sim.NewEnv(seed)
+		env.SetBudget(o.cellBudget())
+		var hosts []cluster.HostSpec
+		if len(cc.hostNames) > 0 {
+			hosts = make([]cluster.HostSpec, len(cc.hostNames))
+			for i := range hosts {
+				hosts[i] = cluster.HostSpec{
+					Name:     cc.hostNames[i],
+					MemPages: o.pages(cc.hostMBs[i]),
+				}
+			}
+		} else {
+			hosts = make([]cluster.HostSpec, cc.hosts)
+			for i := range hosts {
+				hosts[i] = cluster.HostSpec{
+					Name:     fmt.Sprintf("host%d", i),
+					MemPages: o.pages(cc.hostMB),
+				}
+			}
+		}
+		cl = cluster.New(cluster.Config{
+			Seed:              seed,
+			Env:               env,
+			Hosts:             hosts,
+			Guests:            n,
+			GuestMemPages:     o.pages(cc.guestMB),
+			WSMinPct:          cc.wsMinPct,
+			WSMaxPct:          cc.wsMaxPct,
+			Units:             cc.units,
+			PhaseUnits:        cc.phaseUnits,
+			UnitCompute:       sim.Duration(cc.unitComputeMS) * sim.Millisecond,
+			Stagger:           sim.Duration(cc.staggerMS) * sim.Millisecond,
+			GuestDiskBlocks:   int64(o.mb(cc.diskMB)) << 20 / 4096,
+			Packing:           cc.packing,
+			Remediation:       remedy,
+			MaxCommitFactor:   cc.maxCommit,
+			SampleInterval:    sim.Duration(cc.sampleSec) * sim.Second,
+			PressureThreshold: cc.threshold,
+			Cooldown:          sim.Duration(cc.cooldownSec) * sim.Second,
+			Mapper:            s.mapper(),
+			Preventer:         s.preventer(),
+			Balloon:           s.balloon(),
+			Swapback:          sb,
+			SwapPolicy:        o.SwapPolicy,
+			Faults:            o.Faults,
+			AuditEvery:        o.AuditEvery,
+			Spec: fmt.Sprintf("scheme=%s remediation=%s packing=%s guests=%d hosts=%d",
+				s, remedy, cc.packing, n, len(hosts)),
+		})
+		st.m = cl.Hosts[0].M
+		cl.Run()
+		if err := cl.Final(); err != nil {
+			panic(fmt.Sprintf("experiment: cluster invariant violation (replay with seed=%d faults=%q; cell seed %#x): %v",
+				o.Seed, o.Faults.String(), seed, err))
+		}
+		out = clusterOut{
+			p95NS:      cl.UnitP95(),
+			p99NS:      cl.UnitP99(),
+			gp95NS:     cl.GuestP95(),
+			gp99NS:     cl.GuestP99(),
+			units:      cl.Counter(metrics.ClusterUnits),
+			kills:      cl.Counter(metrics.ClusterKills),
+			migrations: cl.Counter(metrics.ClusterMigrations),
+			refused:    cl.Counter(metrics.ClusterMigrateRefused),
+		}
+	})
+	if failed != nil {
+		return clusterOut{failed: true}, failed
+	}
+	if o.runlog != nil {
+		for _, h := range cl.Hosts {
+			o.runlog.add(label+"/"+h.Name, h.M.Report())
+		}
+		o.runlog.add(label+"/fleet", cl.FleetReport())
+	}
+	return out, nil
+}
+
+// clusterGrid fans the counts × remediations grid out on the worker
+// pool, row-major (counts outer), each cell on its own derived seed.
+func clusterGrid(o Options, id string, s Scheme, counts []int, remedies []cluster.Remediation, cc clusterCfg) []clusterOut {
+	o = o.normalized()
+	out := make([]clusterOut, len(counts)*len(remedies))
+	o.forEach(len(out), func(i int) {
+		n, r := counts[i/len(remedies)], remedies[i%len(remedies)]
+		seed := sim.DeriveSeed(o.Seed, id, s.String(), r.String(), strconv.Itoa(n))
+		cell, _ := runCluster(o, s, r, n, seed, cc)
+		out[i] = cell
+	})
+	return out
+}
+
+// renderClusterCell formats one cell for the policy table. Quantiles in
+// the killed-guest sentinel bucket render as "inf": that tail is censored
+// kills, not a measured completion time.
+func renderClusterCell(c clusterOut) string {
+	if c.failed {
+		return "failed"
+	}
+	q := func(ns int64) string {
+		if ns >= int64(cluster.KilledLatency) {
+			return "inf"
+		}
+		return fmt.Sprintf("%.1f", float64(ns)/1e9)
+	}
+	cell := q(c.gp95NS) + "/" + q(c.gp99NS)
+	if c.kills > 0 {
+		cell += fmt.Sprintf(" (%d killed)", c.kills)
+	}
+	if c.migrations > 0 {
+		cell += fmt.Sprintf(" (%d mig)", c.migrations)
+	}
+	return cell
+}
+
+// clusterRemedies is the policy comparison set in column order.
+var clusterRemedies = cluster.AllRemediations()
+
+// ClusterN compares remediation policies on an overcommitted four-host
+// cluster: fleet-wide p95/p99 unit latency plus kill and migration
+// counts, per guest count.
+func ClusterN(o Options) *Report {
+	o = o.normalized()
+	counts := []int{16, 32}
+	if o.Quick {
+		counts = []int{32}
+	}
+	cc := defaultClusterCfg()
+	rep := &Report{
+		ID:        "clusterN",
+		Title:     "Cluster remediation policies under overcommit (reballoon/migrate/kill)",
+		PaperNote: "beyond the paper: VSwapper at cluster scale — fleet p95/p99 unit latency per OOM-avoidance policy",
+	}
+	tab := &Table{
+		Title:   "fleet workload latency p95/p99 [sec] by remediation policy (killed guests count as unbounded)",
+		Columns: []string{"guests"},
+	}
+	for _, r := range clusterRemedies {
+		tab.Columns = append(tab.Columns, r.String())
+	}
+	cells := clusterGrid(o, "clusterN", VSwapper, counts, clusterRemedies, cc)
+	for i, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for j := range clusterRemedies {
+			row = append(row, renderClusterCell(cells[i*len(clusterRemedies)+j]))
+		}
+		tab.Add(row...)
+	}
+	rep.Tables = append(rep.Tables, tab)
+	return rep
+}
+
+// clusterMetricValue resolves one cluster pseudo-metric or fleet counter
+// for assertion evaluation. Latency quantiles are reported in
+// milliseconds.
+func clusterMetricValue(c clusterOut, name string) float64 {
+	switch name {
+	case "unit_p95_ms":
+		return float64(c.p95NS) / 1e6
+	case "unit_p99_ms":
+		return float64(c.p99NS) / 1e6
+	case "guest_p95_ms":
+		return float64(c.gp95NS) / 1e6
+	case "guest_p99_ms":
+		return float64(c.gp99NS) / 1e6
+	case metrics.ClusterUnits:
+		return float64(c.units)
+	case metrics.ClusterKills:
+		return float64(c.kills)
+	case metrics.ClusterMigrations:
+		return float64(c.migrations)
+	case metrics.ClusterMigrateRefused:
+		return float64(c.refused)
+	}
+	return 0
+}
+
+// ensure hyper is referenced even if the runlog path is compiled out in
+// future refactors (the import carries Report types through runCluster).
+var _ *hyper.RunReport

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"vswapsim/internal/cluster"
+	"vswapsim/internal/scenario"
+	"vswapsim/internal/swapback"
+)
+
+// TestClusterParallelEquivalence extends the repo-wide determinism
+// invariant to the cluster cells: both the hand-coded clusterN registry
+// entry and its YAML twin must produce byte-identical JSON reports
+// serially and at -parallel 4. (Like fleetN, the two are not mirrors of
+// each other — their seed derivation ids differ — so each gets its own
+// serial-vs-parallel check.)
+func TestClusterParallelEquivalence(t *testing.T) {
+	goExp, err := ByID("clusterN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	yamlExp := FromScenario(loadScenario(t, "cluster"))
+	for _, e := range []Experiment{goExp, yamlExp} {
+		t.Run(e.ID, func(t *testing.T) {
+			o := goldenOpts()
+			want := scenarioJSON(t, e, o)
+			o.Parallel = 4
+			got := scenarioJSON(t, e, o)
+			if !bytes.Equal(got, want) {
+				t.Errorf("parallel run diverges from serial for %s (%d vs %d bytes)",
+					e.ID, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestClusterScenarioMatchesYAML pins scenarios/cluster.yaml against the
+// in-tree engine: it loads, its remediation grid runs, all declared
+// assertions pass (the note CI greps for), and every policy appears as a
+// column of the report table.
+func TestClusterScenarioMatchesYAML(t *testing.T) {
+	e := FromScenario(loadScenario(t, "cluster"))
+	resetSweepCaches()
+	rep := e.Run(goldenOpts())
+	want := ""
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "assertions:") {
+			want = n
+		}
+	}
+	if !strings.Contains(want, "7/7 passed") {
+		t.Fatalf("cluster.yaml assertions note = %q, want 7/7 passed\nnotes: %v", want, rep.Notes)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("cluster scenario produced %d tables, want 1", len(rep.Tables))
+	}
+	for _, r := range cluster.AllRemediations() {
+		found := false
+		for _, col := range rep.Tables[0].Columns {
+			if col == r.String() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("policy table missing remediation column %q: %v", r, rep.Tables[0].Columns)
+		}
+	}
+	// The kill column carries the censoring marker: murdered guests render
+	// as unbounded latency, not a small number.
+	csv := rep.Tables[0].CSV()
+	if !strings.Contains(csv, "inf") || !strings.Contains(csv, "killed") {
+		t.Errorf("kill column lacks the censored-latency rendering:\n%s", csv)
+	}
+}
+
+// TestClusterScenarioMirrorsRegistry pins scenarios/cluster.yaml to the
+// hand-coded clusterN configuration: same fleet sizing, workload shape,
+// monitor tuning and policy set. The two run different seed streams (the
+// scenario name keys the derivation), so outputs legitimately differ;
+// this structural check is what keeps them the same experiment.
+func TestClusterScenarioMirrorsRegistry(t *testing.T) {
+	sc := loadScenario(t, "cluster")
+	cc := defaultClusterCfg()
+	if sc.Mode != scenario.ModeCluster {
+		t.Fatalf("cluster scenario mode %q, want cluster", sc.Mode)
+	}
+	cs := sc.Cluster
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"hosts", cs.Hosts, cc.hosts},
+		{"host_mb", cs.HostMB, cc.hostMB},
+		{"guest_mb", cs.GuestMB, cc.guestMB},
+		{"working_set_min", cs.WSMinPct, cc.wsMinPct},
+		{"working_set_max", cs.WSMaxPct, cc.wsMaxPct},
+		{"units", cs.Units, cc.units},
+		{"phase_units", cs.PhaseUnits, cc.phaseUnits},
+		{"unit_compute_ms", cs.UnitComputeMS, cc.unitComputeMS},
+		{"stagger_ms", cs.StaggerMS, cc.staggerMS},
+		{"disk_mb", cs.DiskMB, cc.diskMB},
+		{"sample_sec", cs.SampleSec, cc.sampleSec},
+		{"cooldown_sec", cs.CooldownSec, cc.cooldownSec},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("cluster.yaml %s = %d, registry uses %d", c.name, c.got, c.want)
+		}
+	}
+	if cs.Threshold != cc.threshold {
+		t.Errorf("cluster.yaml threshold = %g, registry uses %g", cs.Threshold, cc.threshold)
+	}
+	if cs.MaxCommitFactor != cc.maxCommit {
+		t.Errorf("cluster.yaml max_commit_factor = %g, registry uses %g", cs.MaxCommitFactor, cc.maxCommit)
+	}
+	if clusterPackingByName(cs.Packing) != cc.packing {
+		t.Errorf("cluster.yaml packing = %q, registry uses %q", cs.Packing, cc.packing)
+	}
+	if len(sc.Backends) != 1 || sc.Backends[0] != swapback.SSD.String() {
+		t.Errorf("cluster.yaml backends = %v, registry cell defaults to ssd", sc.Backends)
+	}
+	all := cluster.AllRemediations()
+	if len(cs.Remediations) != len(all) {
+		t.Fatalf("cluster.yaml declares %d remediations, registry compares %d", len(cs.Remediations), len(all))
+	}
+	for i, r := range all {
+		if cs.Remediations[i] != r.String() {
+			t.Errorf("remediation[%d] = %q, registry %q", i, cs.Remediations[i], r)
+		}
+	}
+	// The quick guest count matches clusterN's quick row — 2x aggregate
+	// commit, the regime the acceptance assertions are tuned for.
+	if cs.Guests != 32 {
+		t.Errorf("cluster.yaml guests = %d, clusterN quick row uses 32", cs.Guests)
+	}
+}
+
+// TestClusterPolicyNamesAgree pins the two sides of the policy-name
+// contract: the scenario package's validation lists (used in error
+// messages and docs) and the cluster package's canonical maps accept
+// exactly the same spellings, and AllRemediations orders them the way
+// the comparison tables do.
+func TestClusterPolicyNamesAgree(t *testing.T) {
+	if len(scenario.ClusterPackings) != len(cluster.PackingNames) {
+		t.Errorf("scenario lists %d packings, cluster accepts %d",
+			len(scenario.ClusterPackings), len(cluster.PackingNames))
+	}
+	for _, n := range scenario.ClusterPackings {
+		p, ok := cluster.PackingNames[n]
+		if !ok {
+			t.Errorf("scenario packing %q unknown to the cluster package", n)
+			continue
+		}
+		if p.String() != n {
+			t.Errorf("packing %q round-trips to %q", n, p.String())
+		}
+	}
+	if len(scenario.ClusterRemediations) != len(cluster.RemediationNames) {
+		t.Errorf("scenario lists %d remediations, cluster accepts %d",
+			len(scenario.ClusterRemediations), len(cluster.RemediationNames))
+	}
+	for _, n := range scenario.ClusterRemediations {
+		r, ok := cluster.RemediationNames[n]
+		if !ok {
+			t.Errorf("scenario remediation %q unknown to the cluster package", n)
+			continue
+		}
+		if r.String() != n {
+			t.Errorf("remediation %q round-trips to %q", n, r.String())
+		}
+	}
+	all := cluster.AllRemediations()
+	if len(all) != len(cluster.RemediationNames) {
+		t.Errorf("AllRemediations returns %d policies, map has %d", len(all), len(cluster.RemediationNames))
+	}
+	for i, r := range all {
+		if scenario.ClusterRemediations[i] != r.String() {
+			t.Errorf("comparison order [%d]: scenario %q, cluster %q",
+				i, scenario.ClusterRemediations[i], r)
+		}
+	}
+}
+
+// TestClusterOffByteIdentical proves the cluster subsystem is inert when
+// unused: a pre-cluster experiment run at the golden configuration still
+// reproduces the pre-PR golden report bytes, and a pre-cluster scenario
+// still matches its recorded fingerprint. Adding the cluster machinery
+// must not perturb a single byte of non-cluster output.
+func TestClusterOffByteIdentical(t *testing.T) {
+	o := goldenOpts()
+	o.TraceRing = 64 // the golden report embeds the trace tail
+	got := jsonBytes(t, "fig3", o)
+	want, err := os.ReadFile(goldenReportFile)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cluster subsystem perturbed the non-cluster golden report bytes")
+	}
+}

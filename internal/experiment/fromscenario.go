@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"vswapsim/internal/cluster"
 	"vswapsim/internal/hyper"
 	"vswapsim/internal/scenario"
 	"vswapsim/internal/sim"
@@ -115,9 +116,12 @@ func runScenario(sc *scenario.Scenario, o Options) *Report {
 		o.SwapPolicy = p
 	}
 	rep := &Report{ID: sc.Name, Title: sc.Title, PaperNote: sc.PaperNote}
-	if sc.Mode == scenario.ModeDynamic {
+	switch sc.Mode {
+	case scenario.ModeDynamic:
 		runScenarioDynamic(sc, o, rep)
-	} else {
+	case scenario.ModeCluster:
+		runScenarioCluster(sc, o, rep)
+	default:
 		runScenarioSingle(sc, o, rep, timelineFaults)
 	}
 	return rep
@@ -404,6 +408,111 @@ func runScenarioDynamic(sc *scenario.Scenario, o Options, rep *Report) {
 		return dynOut{}, false
 	}
 	evalAssertionsDynamic(sc, rep, cell)
+}
+
+// ---- cluster mode ----
+
+// runScenarioCluster compiles the cluster stanza onto the same grid the
+// hand-coded clusterN uses: one guest count, the stanza's remediation
+// policies as columns, each cell on its own derived seed.
+func runScenarioCluster(sc *scenario.Scenario, o Options, rep *Report) {
+	// A declared backend replaces the invocation tier (at most one,
+	// enforced by validation); no declaration keeps the CLI -swapback.
+	o.Swapback = scenarioKinds(sc, o)[0]
+	cs := sc.Cluster
+	cc := clusterCfg{
+		hosts:         cs.Hosts,
+		hostMB:        cs.HostMB,
+		guestMB:       cs.GuestMB,
+		wsMinPct:      cs.WSMinPct,
+		wsMaxPct:      cs.WSMaxPct,
+		units:         cs.Units,
+		phaseUnits:    cs.PhaseUnits,
+		unitComputeMS: cs.UnitComputeMS,
+		staggerMS:     cs.StaggerMS,
+		diskMB:        cs.DiskMB,
+		packing:       clusterPackingByName(cs.Packing),
+		threshold:     cs.Threshold,
+		sampleSec:     cs.SampleSec,
+		cooldownSec:   cs.CooldownSec,
+		maxCommit:     cs.MaxCommitFactor,
+		swapback:      o.Swapback,
+	}
+	for _, h := range cs.HostList {
+		cc.hostNames = append(cc.hostNames, h.Name)
+		cc.hostMBs = append(cc.hostMBs, h.MemMB)
+	}
+	remedies := make([]cluster.Remediation, len(cs.Remediations))
+	for i, name := range cs.Remediations {
+		r, ok := cluster.RemediationNames[name]
+		if !ok {
+			panic("experiment: invalid scenario remediation " + name) // validation rejects
+		}
+		remedies[i] = r
+	}
+	s := schemeByName[sc.Schemes[0].Name]
+	counts := []int{cs.Guests}
+
+	grid := clusterGrid(o, sc.Name, s, counts, remedies, cc)
+
+	tab := &Table{Title: sc.TableTitle, Columns: []string{"guests"}}
+	for _, name := range cs.Remediations {
+		tab.Columns = append(tab.Columns, name)
+	}
+	row := []string{fmt.Sprintf("%d", cs.Guests)}
+	for j := range remedies {
+		row = append(row, renderClusterCell(grid[j]))
+	}
+	tab.Add(row...)
+	rep.Tables = append(rep.Tables, tab)
+
+	evalAssertionsCluster(sc, rep, func(remedy string) (clusterOut, bool) {
+		for i, name := range cs.Remediations {
+			if name == remedy {
+				return grid[i], true
+			}
+		}
+		return clusterOut{}, false
+	})
+}
+
+// clusterPackingByName resolves a validated packing identifier.
+func clusterPackingByName(name string) cluster.Packing {
+	p, ok := cluster.PackingNames[name]
+	if !ok {
+		panic("experiment: invalid scenario packing " + name) // validation rejects
+	}
+	return p
+}
+
+// evalAssertionsCluster checks cluster-mode assertions: the scheme slots
+// of an assertion name remediation policies, and metrics resolve through
+// clusterMetricValue (latency quantiles plus cluster.* counters).
+func evalAssertionsCluster(sc *scenario.Scenario, rep *Report, cell func(remedy string) (clusterOut, bool)) {
+	if len(sc.Assertions) == 0 {
+		return
+	}
+	passed := 0
+	for _, a := range sc.Assertions {
+		var left, right float64
+		if a.Threshold() {
+			c, _ := cell(a.Scheme)
+			left, right = clusterMetricValue(c, a.Counter), a.Value
+		} else {
+			cl, _ := cell(a.Left)
+			cr, _ := cell(a.Right)
+			left, right = clusterMetricValue(cl, a.Counter), clusterMetricValue(cr, a.Counter)
+		}
+		if a.Compare(left, right) {
+			passed++
+			continue
+		}
+		rep.AssertionFailures++
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("ASSERTION FAILED: %s (left=%g right=%g)", a.String(), left, right))
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("assertions: %d/%d passed", passed, len(sc.Assertions)))
 }
 
 // ---- assertions ----

@@ -129,6 +129,88 @@ func (a *Auditor) step() {
 	}
 }
 
+// Group audits several machines that share one event loop (the cluster
+// layer runs N hosts on one sim.Env). A sim.Env carries a single
+// after-event hook, so the group installs one hook and strides a full
+// per-machine audit across all members. Violations carry the host label.
+type Group struct {
+	env      *sim.Env
+	every    int
+	tick     int
+	labels   []string
+	auditors []*Auditor
+	err      error
+}
+
+// AttachGroup hooks a group auditor into the shared event loop, auditing
+// every machine once per `every` events (minimum 1). Attach before the
+// env runs; read Final afterwards. labels name the hosts in violation
+// messages and must parallel ms.
+func AttachGroup(env *sim.Env, ms []*hyper.Machine, labels []string, every int) *Group {
+	if every < 1 {
+		every = 1
+	}
+	g := &Group{env: env, every: every, labels: labels}
+	for _, m := range ms {
+		g.auditors = append(g.auditors, &Auditor{m: m, every: 1, mono: make(map[string]int64)})
+	}
+	env.SetAfterEvent(g.step)
+	return g
+}
+
+// Detach removes the event hook.
+func (g *Group) Detach() { g.env.SetAfterEvent(nil) }
+
+// Err returns the first recorded violation, or nil.
+func (g *Group) Err() error { return g.err }
+
+// History returns the members' recent check summaries, labeled by host.
+func (g *Group) History() []string {
+	var out []string
+	for i, a := range g.auditors {
+		for _, line := range a.History() {
+			out = append(out, g.labels[i]+": "+line)
+		}
+	}
+	return out
+}
+
+func (g *Group) step() {
+	if g.err != nil {
+		return
+	}
+	g.tick++
+	if g.tick < g.every {
+		return
+	}
+	g.tick = 0
+	for i, a := range g.auditors {
+		if a.err != nil {
+			continue
+		}
+		if err := a.Check(); err != nil {
+			a.err = fmt.Errorf("at %v: %w", a.m.Env.Now(), err)
+			g.err = fmt.Errorf("host %s: %w", g.labels[i], a.err)
+			return
+		}
+	}
+}
+
+// Final runs one last check on every member and returns the first
+// violation seen over the whole run, or nil.
+func (g *Group) Final() error {
+	if g.err != nil {
+		return g.err
+	}
+	for i, a := range g.auditors {
+		if err := a.Final(); err != nil {
+			g.err = fmt.Errorf("host %s: %w", g.labels[i], err)
+			return g.err
+		}
+	}
+	return nil
+}
+
 // Check runs one full audit pass and returns the first violation found.
 func (a *Auditor) Check() error {
 	err := a.check()

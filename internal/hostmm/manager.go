@@ -303,6 +303,25 @@ func (m *Manager) NewCgroup(name string, limitPages int) *Cgroup {
 // Resident reports the pages currently charged to the cgroup.
 func (cg *Cgroup) Resident() int { return cg.resident }
 
+// Pinned reports the pages currently excluded from reclaim (mid-fault or
+// DMA-held); a cgroup cannot be torn down while any remain.
+func (cg *Cgroup) Pinned() int { return cg.pinned }
+
+// DrainLazy discards every lazily-freed COW source still queued on the
+// cgroup (they hold no frames), leaving the lazy list empty. Used when a
+// guest is being torn down: the audit requires the cgroup's lists to end
+// empty, and lazy entries are reachable only through this list.
+func (m *Manager) DrainLazy(cg *Cgroup) {
+	for {
+		pg := cg.lazy.back()
+		if pg == nil {
+			return
+		}
+		cg.lazy.remove(pg)
+		pg.State = Untouched
+	}
+}
+
 // SetLimit adjusts the cgroup limit; the next charge enforces it.
 func (cg *Cgroup) SetLimit(pages int) { cg.Limit = pages }
 

@@ -49,6 +49,13 @@ type MachineConfig struct {
 	// bounds plus an external cancellation poll. The zero Budget disables
 	// it (see internal/sim watchdog.go).
 	Budget sim.Budget
+	// Env, when non-nil, makes this machine share an existing event loop
+	// instead of creating its own — the cluster layer runs N hosts on one
+	// simulated clock this way. The owner of the shared env is responsible
+	// for its Budget; the machine's Budget field is ignored. Seed still
+	// drives this machine's derived streams (injector, swapback), so two
+	// hosts on one env stay decorrelated.
+	Env *sim.Env
 }
 
 // Machine is one physical host.
@@ -80,8 +87,11 @@ func NewMachine(cfg MachineConfig) *Machine {
 	if cfg.Disk.TotalBlocks == 0 {
 		cfg.Disk = disk.Constellation7200()
 	}
-	env := sim.NewEnv(cfg.Seed)
-	env.SetBudget(cfg.Budget)
+	env := cfg.Env
+	if env == nil {
+		env = sim.NewEnv(cfg.Seed)
+		env.SetBudget(cfg.Budget)
+	}
 	met := metrics.NewSet()
 	dev := disk.NewDevice(env, cfg.Disk, met)
 	layout := disk.NewLayout(cfg.Disk.TotalBlocks)

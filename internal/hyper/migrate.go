@@ -48,6 +48,17 @@ type MigrationConfig struct {
 	UseMappings bool
 	// PerPageCPU is the marshalling cost per transferred page.
 	PerPageCPU sim.Duration
+	// Dest, when non-nil, makes the migration admission-checked against a
+	// real destination host: if the pages that arrive resident (anonymous
+	// content plus swap-backed content, which is read and shipped as
+	// resident memory) cannot fit in the destination's physical memory even
+	// after full reclaim — its pool capacity minus a 1/32 emergency reserve
+	// — the migration is refused up front: no pages are read, no time
+	// passes, the guest stays put. Arrivals that fit displace cold pages
+	// through the destination's ordinary direct-reclaim path as they fault
+	// in, so instantaneous free frames are deliberately not consulted. A
+	// nil Dest keeps the historical notional-destination behavior.
+	Dest *Machine
 }
 
 // MigrationResult is the outcome of one stop-and-copy migration.
@@ -57,6 +68,11 @@ type MigrationResult struct {
 	// Duration is the stop-and-copy downtime: disk reads for non-resident
 	// content plus wire time.
 	Duration sim.Duration
+	// Refused reports that the admission check against MigrationConfig.Dest
+	// rejected the migration: the destination's physical memory cannot hold
+	// the guest's resident set. BytesSent and Duration are zero and the
+	// guest has not moved.
+	Refused bool
 }
 
 // Migrate performs a stop-and-copy migration measurement: it reads every
@@ -73,6 +89,16 @@ func (vm *VM) Migrate(p *sim.Proc, cfg MigrationConfig) MigrationResult {
 	}
 	start := p.Now()
 	plan := vm.PlanMigration()
+	if cfg.Dest != nil {
+		cap := cfg.Dest.Pool.Capacity()
+		if arriving := plan.TransferPages + plan.SwapBacked; arriving > cap-cap/32 {
+			// The destination could not hold the resident set this migration
+			// delivers even by reclaiming everything else. Refuse
+			// deterministically before any work: the refusal is a pure
+			// function of (plan, destination capacity).
+			return MigrationResult{Plan: plan, Refused: true}
+		}
+	}
 
 	// Content that must be read before it can be sent.
 	var swapSlots []int64

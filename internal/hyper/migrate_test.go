@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vswapsim/internal/guest"
+	"vswapsim/internal/sim"
 )
 
 func TestMigrationPlanClassification(t *testing.T) {
@@ -27,6 +28,56 @@ func TestMigrationPlanClassification(t *testing.T) {
 	if plan.TransferBytes() >= plan.NaiveTransferBytes() {
 		t.Fatalf("mapping migration (%d B) not cheaper than naive (%d B)",
 			plan.TransferBytes(), plan.NaiveTransferBytes())
+	}
+}
+
+// TestMigrationAdmissionRefusal pins the destination headroom check: a
+// destination whose physical memory (minus the 1/32 emergency reserve)
+// cannot hold the arriving resident set refuses the migration up front —
+// plan populated, no bytes sent, no time charged — while a roomy
+// destination admits the same guest.
+func TestMigrationAdmissionRefusal(t *testing.T) {
+	m := NewMachine(MachineConfig{Seed: 7, HostMemPages: 64 << 20 / 4096})
+	tiny := NewMachine(MachineConfig{Seed: 8, Env: m.Env, HostMemPages: 512})
+	roomy := NewMachine(MachineConfig{Seed: 9, Env: m.Env, HostMemPages: 16 << 20 / 4096})
+	vm := m.NewVM(VMConfig{
+		Name:       "vm0",
+		MemPages:   2048,
+		DiskBlocks: 1 << 30 / 4096,
+		GuestAPF:   true,
+	})
+	var refused, admitted MigrationResult
+	m.Env.Go("scenario", func(p *sim.Proc) {
+		vm.Boot(p)
+		pr := vm.OS.NewProcess("anon")
+		pr.Reserve(1024)
+		th := &guest.Thread{OS: vm.OS, P: p}
+		for i := 0; i < 1024; i++ {
+			th.TouchAnon(pr, i, true)
+		}
+		th.FlushCPU()
+		refused = vm.Migrate(p, MigrationConfig{Dest: tiny})
+		admitted = vm.Migrate(p, MigrationConfig{Dest: roomy})
+		m.Shutdown()
+		tiny.Shutdown()
+		roomy.Shutdown()
+	})
+	m.Run()
+
+	if !refused.Refused {
+		t.Fatal("512-page destination admitted a ~1024-page resident set")
+	}
+	if refused.BytesSent != 0 || refused.Duration != 0 {
+		t.Fatalf("refusal did work: sent %d bytes in %v", refused.BytesSent, refused.Duration)
+	}
+	if refused.Plan.TotalPages != vm.Cfg.MemPages {
+		t.Fatalf("refusal lost the plan: total %d pages", refused.Plan.TotalPages)
+	}
+	if admitted.Refused {
+		t.Fatal("roomy destination refused the migration")
+	}
+	if admitted.BytesSent == 0 || admitted.Duration == 0 {
+		t.Fatalf("admitted migration moved nothing: %+v", admitted)
 	}
 }
 

@@ -1,0 +1,51 @@
+package hyper
+
+import (
+	"vswapsim/internal/hostmm"
+	"vswapsim/internal/sim"
+)
+
+// Release tears a guest down and returns everything it holds to the host:
+// every frame is uncharged, every swap slot freed, every file mapping
+// removed, the lazily-freed COW sources drained, and the VM removed from
+// the machine. The cluster layer uses it for soomkiller kills and for the
+// source side of a completed migration.
+//
+// The caller must have exited the guest's processes and shut its kernel
+// daemons down first; Release then quiesces the remaining hypervisor
+// state itself — emulated pages are force-finalized (Forget cannot touch
+// a page mid-emulation) and in-flight faults or DMA pins are allowed to
+// drain on the simulated clock before the sweep runs.
+func (vm *VM) Release(p *sim.Proc) {
+	for {
+		var emu []*hostmm.Page
+		if vm.Preventer != nil {
+			vm.EachPage(func(pg *hostmm.Page) {
+				if pg.State == hostmm.Emulated {
+					emu = append(emu, pg)
+				}
+			})
+		}
+		if len(emu) == 0 && vm.CG.Pinned() == 0 {
+			break
+		}
+		for _, pg := range emu {
+			// Content is about to be discarded wholesale, so finalize as a
+			// remap (no disk read) rather than a merge.
+			if pg.State == hostmm.Emulated {
+				vm.Preventer.ForceFinalize(p, pg, false)
+			}
+		}
+		if vm.CG.Pinned() > 0 {
+			p.Sleep(sim.Millisecond)
+		}
+	}
+	vm.EachPage(func(pg *hostmm.Page) { vm.M.MM.Forget(pg) })
+	vm.M.MM.DrainLazy(vm.CG)
+	for i, other := range vm.M.VMs {
+		if other == vm {
+			vm.M.VMs = append(vm.M.VMs[:i], vm.M.VMs[i+1:]...)
+			break
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hyper
 
 import (
 	"vswapsim/internal/metrics"
+	"vswapsim/internal/sim"
 )
 
 // This file is the machine-level half of the observability layer: a typed,
@@ -49,6 +50,31 @@ type RunReport struct {
 	Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
 	Phases     PhaseReport                          `json:"phases"`
 	Trace      []TraceEventReport                   `json:"trace,omitempty"`
+}
+
+// ReportFromSet builds a RunReport from a bare metric set with no backing
+// machine — the cluster layer reports its fleet-level counters and the
+// fleet unit-latency histogram this way, alongside the per-host machine
+// reports. Only the total-time phase is meaningful.
+func ReportFromSet(seed uint64, met *metrics.Set, now sim.Time) *RunReport {
+	counters := make(map[string]int64)
+	for k, v := range met.Snapshot() {
+		if v != 0 {
+			counters[k] = v
+		}
+	}
+	hists := make(map[string]metrics.HistogramSnapshot)
+	for _, h := range met.Histograms() {
+		if h.Count() > 0 {
+			hists[h.Name()] = h.Snapshot()
+		}
+	}
+	return &RunReport{
+		Seed:       seed,
+		Counters:   counters,
+		Histograms: hists,
+		Phases:     PhaseReport{TotalNS: int64(now)},
+	}
 }
 
 // Report captures the machine's current observability state. Call it after

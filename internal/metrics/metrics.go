@@ -106,6 +106,20 @@ const (
 	SwapbackPromotePages            = "swapback.promote.pages"
 	SwapbackRemoteTailEvents        = "swapback.remote.tail.events"
 
+	// Cluster scheduler (internal/cluster). These live in the cluster's own
+	// fleet-level Set (one per cluster cell, reported alongside the per-host
+	// machine sets), so per-host reports stay byte-identical to single-host
+	// runs. All monotone; the cluster invariant checker enforces that.
+	ClusterPlacements     = "cluster.placements"      // guests placed at admission
+	ClusterUnits          = "cluster.units"           // workload units completed fleet-wide
+	ClusterMigrations     = "cluster.migrations"      // live migrations completed
+	ClusterMigrateRefused = "cluster.migrate.refused" // migrations refused for lack of headroom
+	ClusterKills          = "cluster.kills"           // soomkiller victim kills
+	ClusterReballoons     = "cluster.reballoon.ticks" // MOM re-balloon interventions
+	ClusterPressureEvents = "cluster.pressure.events" // monitor samples over threshold
+	HistClusterUnit       = "cluster.unit.latency"  // fleet-wide per-unit workload latency
+	HistClusterGuest      = "cluster.guest.latency" // admission-to-completion per-guest latency
+
 	// Per-phase simulated-time accounting (all virtual nanoseconds). These
 	// answer "where does simulated time go": guest CPU execution, host
 	// fault-handling CPU, blocking waits for the disk, and reclaim scans.

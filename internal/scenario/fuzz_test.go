@@ -10,10 +10,15 @@ import (
 // *ParseError (line >= 1, col >= 1), and every accepted document obeys
 // the invariants the compiler in internal/experiment relies on — a
 // declared mode, at least one scheme with a known name, and a workload
-// kind the executor can build.
+// kind the executor can build (or, in cluster mode, a validated
+// remediation list in place of a workload).
 func FuzzScenarioParse(f *testing.F) {
 	seeds := []string{
 		validSingle,
+		validCluster,
+		"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 0\n",
+		"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts:\n    - name: a\n      mem_mb: 512\n    - name: a\n      mem_mb: 512\n",
+		"cluster:\n  remediation: [migrate, teleport]\n  threshold: 1.5\n",
 		"",
 		"scenario: x\n",
 		"scenario: x\ntitle: t\nmode: turbo\n",
@@ -49,7 +54,7 @@ func FuzzScenarioParse(f *testing.F) {
 		if sc == nil {
 			t.Fatal("nil scenario with nil error")
 		}
-		if sc.Mode != ModeSingle && sc.Mode != ModeDynamic {
+		if sc.Mode != ModeSingle && sc.Mode != ModeDynamic && sc.Mode != ModeCluster {
 			t.Fatalf("accepted scenario has mode %q", sc.Mode)
 		}
 		if len(sc.Schemes) == 0 {
@@ -60,6 +65,26 @@ func FuzzScenarioParse(f *testing.F) {
 			if !strings.Contains(known, s.Name) {
 				t.Fatalf("accepted scenario has unknown scheme %q", s.Name)
 			}
+		}
+		if sc.Mode == ModeCluster {
+			// Cluster scenarios carry no workload stanza; the executor
+			// instead needs a sized fleet and a validated policy list.
+			if len(sc.Cluster.Remediations) == 0 {
+				t.Fatal("accepted cluster scenario has no remediations")
+			}
+			knownRem := strings.Join(ClusterRemediations, " ")
+			for _, r := range sc.Cluster.Remediations {
+				if !strings.Contains(knownRem, r) {
+					t.Fatalf("accepted cluster scenario has unknown remediation %q", r)
+				}
+			}
+			if len(sc.Cluster.HostList) == 0 && sc.Cluster.Hosts < 1 {
+				t.Fatal("accepted cluster scenario has no hosts")
+			}
+			if sc.Cluster.Guests < 1 {
+				t.Fatal("accepted cluster scenario has no guests")
+			}
+			return
 		}
 		switch sc.Workload.Kind {
 		case KindSeqRead, KindAllocTouch, KindMetis:

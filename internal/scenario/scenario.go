@@ -20,6 +20,7 @@ import (
 const (
 	ModeSingle  = "single"  // one controlled-memory guest per scheme (§5.1 shape)
 	ModeDynamic = "dynamic" // a phased fleet per (guest count, scheme) cell (§5.2 shape)
+	ModeCluster = "cluster" // a multi-host scheduler cell per remediation policy
 )
 
 // SchemeNames are the valid scheme identifiers, matching
@@ -46,6 +47,21 @@ const (
 	MetricRuntimeSec     = "workload.runtime_sec"      // single mode
 	MetricKilled         = "workload.killed"           // both modes (0/1 or kill count)
 	MetricMeanRuntimeSec = "workload.mean_runtime_sec" // dynamic mode
+
+	// Cluster-mode latency quantiles (milliseconds). Cluster assertions
+	// accept these plus any cluster.* fleet counter.
+	MetricUnitP95  = "unit_p95_ms"
+	MetricUnitP99  = "unit_p99_ms"
+	MetricGuestP95 = "guest_p95_ms"
+	MetricGuestP99 = "guest_p99_ms"
+)
+
+// ClusterPackings and ClusterRemediations are the valid cluster-mode
+// policy identifiers, matching cluster.PackingNames/RemediationNames
+// exactly (enforced by a cross-package test, like SchemeNames).
+var (
+	ClusterPackings     = []string{"first-fit", "worst-fit", "balanced-pressure"}
+	ClusterRemediations = []string{"none", "reballoon", "migrate", "kill"}
 )
 
 // Ops are the assertion comparison operators.
@@ -81,12 +97,53 @@ type Scenario struct {
 	Policy string
 
 	Fleet      Fleet
+	Cluster    ClusterSpec
 	Schemes    []SchemeRef
 	Workload   Workload
 	TableTitle string
 	Panels     []Panel
 	Timeline   []Event
 	Assertions []Assertion
+}
+
+// ClusterSpec sizes a cluster-mode run: N overcommitted hosts, a guest
+// fleet, a packing policy and the remediation policies under comparison.
+// All sizes are paper-sized megabytes, scaled by the CLI's -scale like
+// every other mode. Zero-valued tuning knobs take the cluster package's
+// defaults.
+type ClusterSpec struct {
+	// Hosts/HostMB is the homogeneous form (`hosts: 4` + `host_mb: 1024`);
+	// HostList is the explicit heterogeneous form (`hosts:` as a sequence
+	// of {name, mem_mb} mappings). Exactly one form is set.
+	Hosts    int
+	HostMB   int
+	HostList []ClusterHost
+
+	Guests  int
+	GuestMB int
+	// WSMinPct/WSMaxPct bound the seeded per-guest working set as a
+	// percent of GuestMB (`working_set_pct: [60, 95]`).
+	WSMinPct, WSMaxPct int
+
+	Units         int
+	PhaseUnits    int
+	UnitComputeMS int
+	StaggerMS     int
+	DiskMB        int
+
+	Packing      string
+	Remediations []string // the comparison axis (assertion "schemes")
+
+	Threshold       float64
+	SampleSec       int
+	CooldownSec     int
+	MaxCommitFactor float64
+}
+
+// ClusterHost is one explicitly-sized host.
+type ClusterHost struct {
+	Name  string
+	MemMB int
 }
 
 // SchemeRef is one compared configuration, optionally with the paper's
@@ -135,8 +192,8 @@ type Workload struct {
 // workload's per-iteration runtimes or a counter delta per iteration.
 type Panel struct {
 	Title   string
-	Source  string // "runtime" | "counter"
-	Counter string // counter name when Source == "counter"
+	Source  string  // "runtime" | "counter"
+	Counter string  // counter name when Source == "counter"
 	Per     float64 // divisor applied before formatting (default 1)
 }
 
@@ -495,9 +552,9 @@ func (d *decoder) scenario(root *node) *Scenario {
 	sc.Title = o.reqStr("title")
 	sc.PaperNote = o.str("paper_note")
 	sc.Mode = o.reqStr("mode")
-	if d.err == nil && sc.Mode != ModeSingle && sc.Mode != ModeDynamic {
-		d.fail(o.keyPos("mode"), "field %q in scenario must be %q or %q, got %q",
-			"mode", ModeSingle, ModeDynamic, sc.Mode)
+	if d.err == nil && sc.Mode != ModeSingle && sc.Mode != ModeDynamic && sc.Mode != ModeCluster {
+		d.fail(o.keyPos("mode"), "field %q in scenario must be %q, %q or %q, got %q",
+			"mode", ModeSingle, ModeDynamic, ModeCluster, sc.Mode)
 	}
 	sc.FaultSpec, sc.Faults = o.faultPlan("faults")
 	sc.AuditEvery = o.intField("audit_every", 0, 0, 1<<30)
@@ -510,13 +567,28 @@ func (d *decoder) scenario(root *node) *Scenario {
 		}
 	}
 
-	if fn := o.require("fleet"); fn != nil {
-		sc.Fleet = d.fleet(fn, sc.Mode)
+	if sc.Mode == ModeCluster {
+		if o.get("fleet") != nil && d.err == nil {
+			d.fail(o.keyPos("fleet"), "fleet is not supported in cluster mode (size hosts and guests in the cluster stanza)")
+		}
+		if o.get("workload") != nil && d.err == nil {
+			d.fail(o.keyPos("workload"), "workload is not supported in cluster mode (the cluster stanza declares its own units)")
+		}
+		if cn := o.require("cluster"); cn != nil {
+			sc.Cluster = d.clusterSpec(cn)
+		}
+	} else {
+		if o.get("cluster") != nil && d.err == nil {
+			d.fail(o.keyPos("cluster"), "cluster stanza requires mode %q, got mode %q", ModeCluster, sc.Mode)
+		}
+		if fn := o.require("fleet"); fn != nil {
+			sc.Fleet = d.fleet(fn, sc.Mode)
+		}
+		if wn := o.require("workload"); wn != nil {
+			sc.Workload = d.workload(wn, "workload", sc.Mode)
+		}
 	}
 	sc.Schemes = d.schemes(o.require("schemes"), sc.Mode)
-	if wn := o.require("workload"); wn != nil {
-		sc.Workload = d.workload(wn, "workload", sc.Mode)
-	}
 	if tn := o.get("table"); tn != nil {
 		to := d.obj(tn, "table")
 		sc.TableTitle = to.reqStr("title")
@@ -615,6 +687,154 @@ func (d *decoder) fleet(n *node, mode string) Fleet {
 	return f
 }
 
+// clusterSpec decodes the cluster stanza. Tuning knobs left out take the
+// cluster package's defaults; structural fields (hosts, guests, sizes,
+// remediation) are required.
+func (d *decoder) clusterSpec(n *node) ClusterSpec {
+	o := d.obj(n, "cluster")
+	var cs ClusterSpec
+	const maxMB = 1 << 20
+
+	// hosts: a count with a shared host_mb, or an explicit sequence of
+	// {name, mem_mb} hosts.
+	hn := o.require("hosts")
+	switch {
+	case hn == nil || d.err != nil:
+	case hn.kind == scalarNode:
+		i, err := strconv.Atoi(hn.scalar)
+		switch {
+		case err != nil || hn.quoted:
+			d.fail(hn.pos, "field %q in cluster must be a host count or a sequence of {name, mem_mb} hosts, got %q", "hosts", hn.scalar)
+		case i < 1 || i > 256:
+			d.fail(hn.pos, "field %q in cluster out of range: %d not in [%d, %d]", "hosts", i, 1, 256)
+		default:
+			cs.Hosts = i
+			cs.HostMB = o.reqInt("host_mb", 1, maxMB)
+		}
+	case hn.kind == seqNode:
+		if len(hn.items) == 0 {
+			d.fail(hn.pos, "field %q in cluster must not be empty", "hosts")
+			break
+		}
+		if o.get("host_mb") != nil {
+			d.fail(o.keyPos("host_mb"), "host_mb conflicts with an explicit cluster host list (size each host's mem_mb)")
+			break
+		}
+		seen := map[string]bool{}
+		for _, it := range hn.items {
+			ho := d.obj(it, "cluster host")
+			var h ClusterHost
+			h.Name = ho.reqStr("name")
+			h.MemMB = ho.reqInt("mem_mb", 1, maxMB)
+			ho.finish()
+			if d.err != nil {
+				return cs
+			}
+			if seen[h.Name] {
+				d.fail(ho.keyPos("name"), "duplicate host name %q in cluster hosts", h.Name)
+				return cs
+			}
+			seen[h.Name] = true
+			cs.HostList = append(cs.HostList, h)
+		}
+	default:
+		d.fail(hn.pos, "field %q in cluster must be a host count or a sequence of {name, mem_mb} hosts, got %s", "hosts", hn.kind)
+	}
+
+	cs.Guests = o.reqInt("guests", 1, 4096)
+	cs.GuestMB = o.reqInt("guest_mb", 1, maxMB)
+	if ws := o.intSeq("working_set_pct", false, 100); ws != nil {
+		if len(ws) != 2 || ws[0] > ws[1] {
+			d.fail(o.keyPos("working_set_pct"), "working_set_pct must be a [min, max] percent pair with min <= max")
+		} else {
+			cs.WSMinPct, cs.WSMaxPct = ws[0], ws[1]
+		}
+	}
+	cs.Units = o.intField("units", 0, 1, 1<<20)
+	cs.PhaseUnits = o.intField("phase_units", 0, 1, 1<<20)
+	cs.UnitComputeMS = o.intField("unit_compute_ms", 0, 1, 3600_000)
+	cs.StaggerMS = o.intField("stagger_ms", 0, 1, 3600_000)
+	cs.DiskMB = o.intField("disk_mb", 4*cs.GuestMB, 1, maxMB)
+	if d.err == nil && cs.DiskMB <= cs.GuestMB {
+		d.fail(o.keyPos("disk_mb"), "disk_mb (%d) must exceed guest_mb (%d): the guest swap area lives on the disk image", cs.DiskMB, cs.GuestMB)
+	}
+
+	cs.Packing = "balanced-pressure"
+	if pn := o.get("packing"); pn != nil {
+		if p, at, ok := o.scalar(pn, "packing"); ok {
+			if !nameIn(p, ClusterPackings) {
+				d.fail(at, "unknown packing %q (valid: %s)", p, strings.Join(ClusterPackings, ", "))
+			} else {
+				cs.Packing = p
+			}
+		}
+	}
+
+	// remediation: one policy or the comparison sequence.
+	rn := o.require("remediation")
+	var items []*node
+	switch {
+	case rn == nil || d.err != nil:
+	case rn.kind == scalarNode:
+		items = []*node{rn}
+	case rn.kind == seqNode:
+		if len(rn.items) == 0 {
+			d.fail(rn.pos, "field %q in cluster must not be empty", "remediation")
+		}
+		items = rn.items
+	default:
+		d.fail(rn.pos, "field %q in cluster must be a policy name or a sequence of names, got %s", "remediation", rn.kind)
+	}
+	seenRemedy := map[string]bool{}
+	for _, it := range items {
+		if d.err != nil {
+			break
+		}
+		if it.kind != scalarNode {
+			d.fail(it.pos, "elements of %q in cluster must be policy names", "remediation")
+			break
+		}
+		if !nameIn(it.scalar, ClusterRemediations) {
+			d.fail(it.pos, "unknown remediation %q (valid: %s)", it.scalar, strings.Join(ClusterRemediations, ", "))
+			break
+		}
+		if seenRemedy[it.scalar] {
+			d.fail(it.pos, "duplicate remediation %q", it.scalar)
+			break
+		}
+		seenRemedy[it.scalar] = true
+		cs.Remediations = append(cs.Remediations, it.scalar)
+	}
+
+	if tn := o.get("threshold"); tn != nil {
+		if v, at, ok := o.scalar(tn, "threshold"); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			switch {
+			case err != nil || tn.quoted || f != f:
+				d.fail(at, "field %q in cluster must be a number, got %q", "threshold", v)
+			case f <= 0 || f > 1:
+				d.fail(at, "field %q in cluster out of range: pressure threshold %g not in (0, 1]", "threshold", f)
+			default:
+				cs.Threshold = f
+			}
+		}
+	}
+	cs.SampleSec = o.intField("sample_sec", 0, 1, 3600)
+	cs.CooldownSec = o.intField("cooldown_sec", 0, 1, 3600)
+	cs.MaxCommitFactor, _ = o.floatField("max_commit_factor", 0, 1, 64)
+	o.finish()
+	return cs
+}
+
+func nameIn(name string, valid []string) bool {
+	for _, v := range valid {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
 func (d *decoder) schemes(n *node, mode string) []SchemeRef {
 	if n == nil || d.err != nil {
 		return nil
@@ -657,7 +877,7 @@ func (d *decoder) schemes(n *node, mode string) []SchemeRef {
 			return nil
 		}
 		seen[ref.Name] = true
-		if mode == ModeDynamic && ref.Paper != "" {
+		if mode != ModeSingle && ref.Paper != "" {
 			d.fail(at, "scheme %q: paper reference values are only supported in single mode", ref.Name)
 			return nil
 		}
@@ -820,9 +1040,19 @@ func (d *decoder) assertions(n *node, sc *Scenario) []Assertion {
 		d.fail(n.pos, "assertions must be a sequence, got %s", n.kind)
 		return nil
 	}
+	// The assertion axis is schemes, except in cluster mode where the
+	// remediation policies are what the grid compares.
 	declared := map[string]bool{}
-	for _, s := range sc.Schemes {
-		declared[s.Name] = true
+	axisNoun, axisWhere := "scheme", "schemes"
+	if sc.Mode == ModeCluster {
+		axisNoun, axisWhere = "remediation", "the cluster remediation list"
+		for _, r := range sc.Cluster.Remediations {
+			declared[r] = true
+		}
+	} else {
+		for _, s := range sc.Schemes {
+			declared[s.Name] = true
+		}
 	}
 	maxCount := 0
 	for _, c := range sc.Fleet.Counts {
@@ -879,7 +1109,7 @@ func (d *decoder) assertions(n *node, sc *Scenario) []Assertion {
 		}
 		for _, s := range []string{a.Scheme, a.Left, a.Right} {
 			if s != "" && !declared[s] {
-				d.fail(at, "assertion references scheme %q not declared in schemes", s)
+				d.fail(at, "assertion references %s %q not declared in %s", axisNoun, s, axisWhere)
 				return nil
 			}
 		}
@@ -933,6 +1163,22 @@ func validOp(op string) bool {
 // mode any lexically valid counter name is allowed (unknown counters read
 // zero); dynamic cells only expose the pseudo-metrics.
 func (d *decoder) checkMetric(name, mode string, at pos) error {
+	if mode == ModeCluster {
+		switch name {
+		case MetricUnitP95, MetricUnitP99, MetricGuestP95, MetricGuestP99:
+			return nil
+		}
+		if strings.HasPrefix(name, "cluster.") {
+			if err := checkCounterName(name, at); err != nil {
+				d.err = err
+				return err
+			}
+			return nil
+		}
+		d.fail(at, "cluster-mode assertions support only %s/%s/%s/%s and cluster.* counters, got %q",
+			MetricUnitP95, MetricUnitP99, MetricGuestP95, MetricGuestP99, name)
+		return d.err
+	}
 	if mode == ModeDynamic {
 		if name != MetricMeanRuntimeSec && name != MetricKilled {
 			d.fail(at, "dynamic-mode assertions support only %s and %s, got %q",
@@ -978,8 +1224,8 @@ func (d *decoder) crossChecks(root *node, sc *Scenario) {
 		return root.pos
 	}
 	if len(sc.Backends) > 1 {
-		if sc.Mode == ModeDynamic {
-			d.fail(at("backend"), "dynamic mode supports at most one backend")
+		if sc.Mode != ModeSingle {
+			d.fail(at("backend"), "%s mode supports at most one backend", sc.Mode)
 			return
 		}
 		if len(sc.Panels) > 0 {
@@ -991,7 +1237,7 @@ func (d *decoder) crossChecks(root *node, sc *Scenario) {
 			return
 		}
 	}
-	if sc.Mode == ModeDynamic {
+	if sc.Mode != ModeSingle {
 		if len(sc.Panels) > 0 {
 			d.fail(at("panels"), "panels are only supported in single mode")
 			return
@@ -1001,7 +1247,11 @@ func (d *decoder) crossChecks(root *node, sc *Scenario) {
 			return
 		}
 		if sc.TableTitle == "" {
-			d.fail(at("table"), "dynamic mode requires a table with a title")
+			d.fail(at("table"), "%s mode requires a table with a title", sc.Mode)
+			return
+		}
+		if sc.Mode == ModeCluster && len(sc.Schemes) != 1 {
+			d.fail(at("schemes"), "cluster mode compares remediation policies under exactly one scheme")
 			return
 		}
 	} else {

@@ -89,6 +89,95 @@ assertions:
 	}
 }
 
+// validCluster is a minimal well-formed cluster-mode scenario; it doubles
+// as a fuzz corpus seed.
+const validCluster = `scenario: clu
+title: "cluster demo"
+mode: cluster
+cluster:
+  hosts: 2
+  host_mb: 512
+  guests: 6
+  guest_mb: 128
+  working_set_pct: [50, 90]
+  remediation: [none, migrate, kill]
+  threshold: 0.2
+schemes: [vswapper]
+table:
+  title: "fleet latency"
+assertions:
+  - counter: guest_p95_ms
+    op: "<="
+    left: migrate
+    right: kill
+  - counter: cluster.kills
+    scheme: migrate
+    op: "=="
+    value: 0
+`
+
+func TestParseValidCluster(t *testing.T) {
+	sc, err := Parse([]byte(validCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "clu" || sc.Mode != ModeCluster {
+		t.Fatalf("parsed %+v", sc)
+	}
+	cs := sc.Cluster
+	if cs.Hosts != 2 || cs.HostMB != 512 || cs.Guests != 6 || cs.GuestMB != 128 {
+		t.Fatalf("cluster sizing %+v", cs)
+	}
+	if cs.WSMinPct != 50 || cs.WSMaxPct != 90 {
+		t.Fatalf("working set %+v", cs)
+	}
+	// disk_mb defaults to 4x guest_mb; packing defaults to the pressure
+	// packer.
+	if cs.DiskMB != 4*cs.GuestMB || cs.Packing != "balanced-pressure" {
+		t.Fatalf("cluster defaults %+v", cs)
+	}
+	if len(cs.Remediations) != 3 || cs.Remediations[1] != "migrate" {
+		t.Fatalf("remediations %+v", cs.Remediations)
+	}
+	if cs.Threshold != 0.2 {
+		t.Fatalf("threshold %v", cs.Threshold)
+	}
+	if len(sc.Assertions) != 2 || sc.Assertions[0].Threshold() || !sc.Assertions[1].Threshold() {
+		t.Fatalf("assertions %+v", sc.Assertions)
+	}
+}
+
+func TestParseClusterHostList(t *testing.T) {
+	doc := `scenario: clu2
+title: t
+mode: cluster
+cluster:
+  hosts:
+    - name: big
+      mem_mb: 2048
+    - name: small
+      mem_mb: 512
+  guests: 4
+  guest_mb: 128
+  remediation: migrate
+schemes: [vswapper]
+table:
+  title: t
+`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := sc.Cluster
+	if len(cs.HostList) != 2 || cs.HostList[0].Name != "big" || cs.HostList[0].MemMB != 2048 ||
+		cs.HostList[1].Name != "small" || cs.HostList[1].MemMB != 512 {
+		t.Fatalf("host list %+v", cs.HostList)
+	}
+	if len(cs.Remediations) != 1 || cs.Remediations[0] != "migrate" {
+		t.Fatalf("scalar remediation %+v", cs.Remediations)
+	}
+}
+
 func TestParseSchemePaperAndTimeline(t *testing.T) {
 	doc := `scenario: tl
 title: "timeline demo"
@@ -182,7 +271,7 @@ func TestValidateMalformed(t *testing.T) {
 		{
 			"bad mode",
 			"scenario: x\ntitle: t\nmode: turbo\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\n",
-			3, `"mode" in scenario must be "single" or "dynamic", got "turbo"`,
+			3, `"mode" in scenario must be "single", "dynamic" or "cluster", got "turbo"`,
 		},
 		{
 			"unknown scheme",
@@ -303,6 +392,71 @@ func TestValidateMalformed(t *testing.T) {
 			"panels without iterations",
 			"scenario: x\ntitle: t\nmode: single\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\npanels:\n  - title: p\n    source: runtime\n",
 			11, "panels require workload.iterations >= 1",
+		},
+		{
+			"unknown remediation",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: [migrate, teleport]\nschemes: [vswapper]\ntable:\n  title: t\n",
+			9, `unknown remediation "teleport"`,
+		},
+		{
+			"duplicate remediation",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: [migrate, migrate]\nschemes: [vswapper]\ntable:\n  title: t\n",
+			9, `duplicate remediation "migrate"`,
+		},
+		{
+			"zero hosts",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 0\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\n",
+			5, `field "hosts" in cluster out of range: 0 not in [1, 256]`,
+		},
+		{
+			"pressure threshold out of range",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\n  threshold: 1.5\nschemes: [vswapper]\ntable:\n  title: t\n",
+			10, `pressure threshold 1.5 not in (0, 1]`,
+		},
+		{
+			"duplicate host name",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts:\n    - name: a\n      mem_mb: 512\n    - name: a\n      mem_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\n",
+			8, `duplicate host name "a" in cluster hosts`,
+		},
+		{
+			"host_mb conflicts with explicit host list",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts:\n    - name: a\n      mem_mb: 512\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\n",
+			8, "host_mb conflicts with an explicit cluster host list",
+		},
+		{
+			"disk smaller than guest memory",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  disk_mb: 64\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\n",
+			9, `disk_mb (64) must exceed guest_mb (128)`,
+		},
+		{
+			"cluster stanza outside cluster mode",
+			"scenario: x\ntitle: t\nmode: single\ncluster:\n  hosts: 2\nfleet:\n  memory_mb: 512\n  actual_mb: 100\nschemes: [baseline]\nworkload:\n  kind: seqread\n  file_mb: 200\ntable:\n  title: t\n",
+			4, `cluster stanza requires mode "cluster", got mode "single"`,
+		},
+		{
+			"cluster mode missing stanza",
+			"scenario: x\ntitle: t\nmode: cluster\nschemes: [vswapper]\ntable:\n  title: t\n",
+			1, `missing required field "cluster" in scenario`,
+		},
+		{
+			"cluster mode rejects workload",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nworkload:\n  kind: seqread\n  file_mb: 200\nschemes: [vswapper]\ntable:\n  title: t\n",
+			10, "workload is not supported in cluster mode",
+		},
+		{
+			"cluster mode rejects non-cluster metric",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\nassertions:\n  - counter: disk.ops\n    scheme: migrate\n    op: \">\"\n    value: 0\n",
+			14, "cluster-mode assertions support only",
+		},
+		{
+			"assertion references undeclared remediation",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [vswapper]\ntable:\n  title: t\nassertions:\n  - counter: guest_p95_ms\n    scheme: kill\n    op: \">\"\n    value: 0\n",
+			14, `assertion references remediation "kill" not declared in the cluster remediation list`,
+		},
+		{
+			"cluster mode requires exactly one scheme",
+			"scenario: x\ntitle: t\nmode: cluster\ncluster:\n  hosts: 2\n  host_mb: 512\n  guests: 4\n  guest_mb: 128\n  remediation: migrate\nschemes: [baseline, vswapper]\ntable:\n  title: t\n",
+			10, "cluster mode compares remediation policies under exactly one scheme",
 		},
 	}
 	for _, c := range cases {

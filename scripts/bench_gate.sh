@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ids=${IDS:-fig5,fig11,backendN}
+ids=${IDS:-fig5,fig11,backendN,clusterN}
 threshold=${THRESHOLD:-1.15}
 fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
