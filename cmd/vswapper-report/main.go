@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
+	"vswapsim/internal/serve"
 	"vswapsim/internal/swapback"
 )
 
@@ -62,6 +64,12 @@ type cliConfig struct {
 	maxEvents   uint64
 	cellTimeout time.Duration
 	diagDir     string
+	server      string
+
+	// raw flag values kept verbatim for -server client mode.
+	faultSpec      string
+	swapbackName   string
+	swapPolicyName string
 }
 
 // parseArgs parses args (without the program name). Parse errors are
@@ -81,11 +89,11 @@ func parseArgs(args []string) (cliConfig, error) {
 		"write the combined machine-readable report (JSON) to this file (\"-\" = stdout)")
 	fs.IntVar(&c.traceRing, "tracering", 0,
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
-	faultSpec := fs.String("faults", "",
+	fs.StringVar(&c.faultSpec, "faults", "",
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
-	swapbackName := fs.String("swapback", "",
+	fs.StringVar(&c.swapbackName, "swapback", "",
 		"swap-backend tier: "+strings.Join(swapback.KindNames(), ", ")+" (empty = hdd, the raw swap device)")
-	swapPolicyName := fs.String("swappolicy", "",
+	fs.StringVar(&c.swapPolicyName, "swappolicy", "",
 		"tiering policy for backends with a fast tier: "+strings.Join(swapback.PolicyNames(), ", ")+" (empty = writeback)")
 	fs.IntVar(&c.auditEvery, "auditevery", 0,
 		"run the invariant auditor every N simulated events (0 = off; a violation aborts the run)")
@@ -95,6 +103,8 @@ func parseArgs(args []string) (cliConfig, error) {
 		"per-cell wall-clock budget (e.g. 30s); a breach is fatal and cancels the rest of the run (0 = unlimited)")
 	fs.StringVar(&c.diagDir, "diagdir", "",
 		"write one replayable crash-diagnostics bundle (JSON) per failed cell into this directory")
+	fs.StringVar(&c.server, "server", "",
+		"run via a vswapsimd daemon at this base URL; repeated sweeps are served from its result cache")
 	if err := fs.Parse(args); err != nil {
 		return c, err
 	}
@@ -114,14 +124,17 @@ func parseArgs(args []string) (cliConfig, error) {
 		return c, fmt.Errorf("invalid -celltimeout %v: must be >= 0", c.cellTimeout)
 	}
 	var err error
-	if c.faults, err = fault.ParsePlan(*faultSpec); err != nil {
+	if c.faults, err = fault.ParsePlan(c.faultSpec); err != nil {
 		return c, fmt.Errorf("invalid -faults: %v", err)
 	}
-	if c.swapback, err = swapback.ParseKind(*swapbackName); err != nil {
+	if c.swapback, err = swapback.ParseKind(c.swapbackName); err != nil {
 		return c, fmt.Errorf("invalid -swapback: %v", err)
 	}
-	if c.swapPolicy, err = swapback.ParsePolicy(*swapPolicyName); err != nil {
+	if c.swapPolicy, err = swapback.ParsePolicy(c.swapPolicyName); err != nil {
 		return c, fmt.Errorf("invalid -swappolicy: %v", err)
+	}
+	if c.server != "" && (c.csvDir != "" || c.jsonOut != "" || c.diagDir != "") {
+		return c, errors.New("-server is incompatible with -csv/-json/-diagdir (ask the daemon for documents instead)")
 	}
 	return c, nil
 }
@@ -155,6 +168,9 @@ func run(args []string, stdoutW, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitFailures
+	}
+	if c.server != "" {
+		return runViaServer(c, exps, stdoutW, stderr)
 	}
 	if c.csvDir != "" {
 		if err := os.MkdirAll(c.csvDir, 0o755); err != nil {
@@ -270,6 +286,78 @@ func run(args []string, stdoutW, stderr io.Writer) int {
 		return exitFailures
 	}
 	return exitOK
+}
+
+// runViaServer is the thin -server client mode: one daemon job per
+// selected experiment, in registry order, rendered from the returned
+// documents. Repeated sweeps hit the daemon's result cache. The exit code
+// is the worst job exit hint, mirroring local semantics.
+func runViaServer(c cliConfig, exps []experiment.Experiment, stdoutW, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var w io.Writer = stdoutW
+	if c.out != "" {
+		f, err := os.Create(c.out)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitFailures
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdoutW, f)
+	}
+	client := serve.NewClient(c.server)
+	fmt.Fprintf(w, "VSwapper reproduction report (seed=%d scale=%.2f quick=%v, served by %s)\n\n",
+		c.seed, c.scale, c.quick, c.server)
+	worst := exitOK
+	start := time.Now()
+	hits := 0
+	for _, e := range exps {
+		st, err := client.Run(ctx, serve.JobRequest{
+			ID: e.ID, Seed: c.seed, Scale: c.scale, Quick: c.quick,
+			Parallel: c.parallel, TraceRing: c.traceRing,
+			Faults: c.faultSpec, Swapback: c.swapbackName, SwapPolicy: c.swapPolicyName,
+			AuditEvery: c.auditEvery, MaxEvents: c.maxEvents,
+			CellTimeoutMS: c.cellTimeout.Milliseconds(),
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "vswapper-report: %s: %v\n", e.ID, err)
+			return exitFailures
+		}
+		if st.Cached {
+			hits++
+		}
+		if st.Error != "" {
+			fmt.Fprintf(stderr, "vswapper-report: %s failed: %s\n", e.ID, st.Error)
+		}
+		if len(st.Document) > 0 {
+			var doc experiment.JSONDocument
+			if err := json.Unmarshal(st.Document, &doc); err != nil {
+				fmt.Fprintf(stderr, "vswapper-report: bad document for %s: %v\n", e.ID, err)
+				return exitFailures
+			}
+			for _, rep := range doc.Experiments {
+				fmt.Fprint(w, rep.Render())
+				cache := "cold"
+				if st.Cached {
+					cache = "cache hit"
+				}
+				fmt.Fprintf(w, "(%s served: %s)\n\n", rep.ID, cache)
+				if n := len(rep.Failures); n > 0 {
+					fmt.Fprintf(w, "%s: %d cell(s) FAILED:\n", rep.ID, n)
+					for _, f := range rep.Failures {
+						fmt.Fprintf(w, "  [%s] %s: %s\n", f.Kind, f.Label, f.Message)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		}
+		if st.ExitHint > worst {
+			worst = st.ExitHint
+		}
+	}
+	fmt.Fprintf(w, "total wall time %v (%d of %d from cache)\n",
+		time.Since(start).Round(time.Millisecond), hits, len(exps))
+	return worst
 }
 
 func main() {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vswapsim/internal/serve"
+)
+
+// TestRunUsageErrorsConsistent mirrors vswapsim's negative-path table:
+// -parallel <= 0 and -auditevery < 0 exit 2 with the one-line usage hint,
+// so both CLIs reject budget/concurrency misuse identically.
+func TestRunUsageErrorsConsistent(t *testing.T) {
+	cases := [][]string{
+		{"-parallel", "0"},
+		{"-parallel", "-4"},
+		{"-auditevery", "-1"},
+		{"-server", "http://x", "-json", "-"},
+		{"-server", "http://x", "-csv", "dir"},
+		{"-server", "http://x", "-diagdir", "dir"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+		if msg := strings.ToLower(stderr.String()); !strings.Contains(msg, "usage") {
+			t.Errorf("run(%v) stderr lacks the usage hint: %q", args, stderr.String())
+		}
+	}
+}
+
+// TestServerModeSweep: a -server sweep renders each selected experiment
+// from daemon documents, and a repeat sweep is served from the cache.
+func TestServerModeSweep(t *testing.T) {
+	s, err := serve.New(serve.Config{CacheDir: t.TempDir(), Fingerprint: "test:report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+
+	args := []string{"-only", "tab1", "-quick", "-server", ts.URL}
+	var cold, stderr bytes.Buffer
+	if code := run(args, &cold, &stderr); code != exitOK {
+		t.Fatalf("cold sweep = %d, stderr %s", code, stderr.String())
+	}
+	out := cold.String()
+	if !strings.Contains(out, "served by "+ts.URL) {
+		t.Fatalf("header lacks the daemon URL:\n%s", out)
+	}
+	if !strings.Contains(out, "Lines of code of VSwapper") {
+		t.Fatalf("sweep output lacks the rendered table:\n%s", out)
+	}
+	if !strings.Contains(out, "0 of 1 from cache") {
+		t.Fatalf("cold sweep should be all misses:\n%s", out)
+	}
+
+	var warm bytes.Buffer
+	if code := run(args, &warm, &stderr); code != exitOK {
+		t.Fatalf("warm sweep = %d", code)
+	}
+	if !strings.Contains(warm.String(), "1 of 1 from cache") {
+		t.Fatalf("warm sweep not served from cache:\n%s", warm.String())
+	}
+}

@@ -11,7 +11,12 @@
 // Flags (shared by -run and the run subcommand): -scale, -seed, -quick,
 // -parallel, -json, -tracering, -faults, -swapback, -swappolicy,
 // -auditevery, -maxevents, -celltimeout, -diagdir, -cpuprofile,
-// -memprofile. Run `vswapsim -h` for the full descriptions.
+// -memprofile, -server. Run `vswapsim -h` for the full descriptions.
+//
+// With -server URL the run is submitted to a vswapsimd daemon instead of
+// executing locally: repeated runs are served from the daemon's
+// content-addressed result cache (byte-identical to a cold run), and the
+// exit code mirrors the local semantics via the job's exit hint.
 //
 // `vswapsim run scenarios/fig3.yaml` executes a declarative scenario
 // (see internal/scenario and EXPERIMENTS.md for the schema) through the
@@ -55,6 +60,7 @@ import (
 	"vswapsim/internal/experiment"
 	"vswapsim/internal/fault"
 	"vswapsim/internal/scenario"
+	"vswapsim/internal/serve"
 	"vswapsim/internal/swapback"
 )
 
@@ -96,8 +102,11 @@ type cliConfig struct {
 	diagDir     string
 	cpuProfile  string
 	memProfile  string
+	server      string
 
-	// raw flag values parsed into swapback/swapPolicy by parseArgs
+	// raw flag values parsed into faults/swapback/swapPolicy by parseArgs;
+	// kept verbatim so -server client mode can forward them unchanged.
+	faultSpec      string
 	swapbackName   string
 	swapPolicyName string
 }
@@ -117,8 +126,9 @@ func newFlagSet(c *cliConfig) (fs *flag.FlagSet, faultSpec *string) {
 		"emit the machine-readable report (tables + per-run counters/histograms/phases) as JSON")
 	fs.IntVar(&c.traceRing, "tracering", 0,
 		"attach a trace ring of this capacity to every machine; run reports embed its tail")
-	faultSpec = fs.String("faults", "",
+	fs.StringVar(&c.faultSpec, "faults", "",
 		"fault-injection spec, e.g. 'disk-read-err:0.01;disk-lat:0.05:2ms;swapin-fail:0.02'")
+	faultSpec = &c.faultSpec
 	fs.StringVar(&c.swapbackName, "swapback", "",
 		"swap-backend tier: "+strings.Join(swapback.KindNames(), ", ")+" (empty = hdd, the raw swap device)")
 	fs.StringVar(&c.swapPolicyName, "swappolicy", "",
@@ -133,6 +143,8 @@ func newFlagSet(c *cliConfig) (fs *flag.FlagSet, faultSpec *string) {
 		"write one replayable crash-diagnostics bundle (JSON) per failed cell into this directory")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&c.server, "server", "",
+		"run via a vswapsimd daemon at this base URL (e.g. http://127.0.0.1:8080); repeated runs hit its result cache")
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageHeader)
 		fs.PrintDefaults()
@@ -224,7 +236,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return exitFailures
 	}
+	if c.server != "" {
+		return runViaServer(c, serve.JobRequest{ID: e.ID}, stdout, stderr)
+	}
 	return executeExperiment(e, "", c, stdout, stderr)
+}
+
+// jobRequest forwards the CLI knobs into a daemon job, verbatim.
+func (c cliConfig) jobRequest(base serve.JobRequest) serve.JobRequest {
+	base.Seed = c.seed
+	base.Scale = c.scale
+	base.Quick = c.quick
+	base.Parallel = c.parallel
+	base.TraceRing = c.traceRing
+	base.Faults = c.faultSpec
+	base.Swapback = c.swapbackName
+	base.SwapPolicy = c.swapPolicyName
+	base.AuditEvery = c.auditEvery
+	base.MaxEvents = c.maxEvents
+	base.CellTimeoutMS = c.cellTimeout.Milliseconds()
+	return base
+}
+
+// runViaServer is the thin -server client mode: submit the job to a
+// vswapsimd daemon, wait for its terminal status, and print the result.
+// With -json the daemon's document is printed verbatim (cache hits are
+// byte-identical to cold runs by the daemon's contract); otherwise the
+// same tables a local run would print are rendered from it. The exit code
+// is the daemon's hint, matching local exit semantics.
+func runViaServer(c cliConfig, base serve.JobRequest, stdout, stderr io.Writer) int {
+	if c.diagDir != "" {
+		fmt.Fprintln(stderr, "vswapsim: -diagdir is local-only; use the daemon's -diagdir instead (run 'vswapsim -h' for usage)")
+		return exitUsage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := serve.NewClient(c.server).Run(ctx, c.jobRequest(base))
+	if err != nil {
+		fmt.Fprintf(stderr, "vswapsim: %v\n", err)
+		return exitFailures
+	}
+	if st.Error != "" {
+		fmt.Fprintf(stderr, "vswapsim: job %s failed: %s\n", st.JobID, st.Error)
+	}
+	if c.jsonOut {
+		if len(st.Document) > 0 {
+			stdout.Write(st.Document)
+			io.WriteString(stdout, "\n")
+		}
+		return st.ExitHint
+	}
+	if len(st.Document) > 0 {
+		var doc experiment.JSONDocument
+		if err := json.Unmarshal(st.Document, &doc); err != nil {
+			fmt.Fprintf(stderr, "vswapsim: bad document from server: %v\n", err)
+			return exitFailures
+		}
+		for _, rep := range doc.Experiments {
+			fmt.Fprint(stdout, rep.Render())
+			if len(rep.Failures) > 0 {
+				printFailures(stdout, rep.Failures)
+			}
+		}
+		if doc.Incomplete {
+			fmt.Fprintln(stdout, "\nRUN INCOMPLETE: canceled before every cell finished")
+		}
+	}
+	hit := "miss"
+	if st.Cached {
+		hit = "hit"
+	}
+	fmt.Fprintf(stdout, "(served by %s: job %s, cache %s)\n", c.server, st.JobID, hit)
+	return st.ExitHint
 }
 
 // runScenarioCmd implements `vswapsim run <scenario.yaml> [flags]`.
@@ -237,13 +320,23 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	c, err := parseArgs(args[1:])
 	if err != nil {
 		if err != flag.ErrHelp {
-			fmt.Fprintf(stderr, "vswapsim run: %v\n", err)
+			fmt.Fprintf(stderr, "vswapsim run: %v (run 'vswapsim -h' for usage)\n", err)
 		}
 		return exitUsage
 	}
 	if c.list || c.run != "" {
 		fmt.Fprintln(stderr, "vswapsim run: -list/-run cannot be combined with a scenario file")
 		return exitUsage
+	}
+	if c.server != "" {
+		// Server mode ships the scenario bytes inline; the daemon parses,
+		// validates, and runs them with its own executor.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "vswapsim run: %v\n", err)
+			return exitUsage
+		}
+		return runViaServer(c, serve.JobRequest{Scenario: string(data)}, stdout, stderr)
 	}
 	sc, err := scenario.Load(path)
 	if err != nil {

@@ -147,10 +147,14 @@ func BuildJSON(rep *Report, runs []RunRecord, fails []FailureRecord) *JSONReport
 // JSONDocument is the top-level -json output: the invocation parameters
 // plus one JSONReport per experiment, in registry order.
 type JSONDocument struct {
-	Seed     uint64  `json:"seed"`
-	Scale    float64 `json:"scale"`
-	Quick    bool    `json:"quick"`
-	Parallel int     `json:"parallel"`
+	Seed  uint64  `json:"seed"`
+	Scale float64 `json:"scale"`
+	Quick bool    `json:"quick"`
+	// Parallel is omitted (zeroed) in job-granular documents (see
+	// jobrun.go): results are byte-identical at any parallelism, so the
+	// serving daemon's cached documents must not encode it. CLI documents
+	// keep reporting it (always >= 1 after normalization).
+	Parallel int `json:"parallel,omitempty"`
 	// Faults is the canonical fault-injection spec; omitted (keeping the
 	// document byte-identical to faultless builds) when no plan is set.
 	Faults string `json:"faults,omitempty"`

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a Set in the Prometheus text exposition format
+// (version 0.0.4) — the format the serving daemon's /metrics endpoint
+// speaks and the kube-soomkiller stress harness consumes. The simulator's
+// internal counter names use dots ("serve.jobs.accepted"); Prometheus
+// metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so PromName maps every
+// illegal byte to '_' ("serve_jobs_accepted"). Output is sorted by name so
+// repeated scrapes of an idle server are byte-identical.
+
+// PromName converts an internal metric name to a valid Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed with '_'.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePromGauge renders one gauge sample (a value that can go up and
+// down, like a queue depth) in Prometheus text format.
+func WritePromGauge(w io.Writer, name string, v float64) {
+	n := PromName(name)
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, v)
+}
+
+// WritePrometheus renders every counter and histogram of the set in
+// Prometheus text format, sorted by name. Counters render as the
+// "counter" type (zero-valued counters included, so a scraper can assert
+// a metric exists before it first fires); histograms render as the
+// "histogram" type with cumulative power-of-two le buckets.
+func (s *Set) WritePrometheus(w io.Writer) {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.counters[k].v)
+	}
+
+	hnames := make([]string, 0, len(s.hists))
+	for k := range s.hists {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		h := s.hists[k]
+		n := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, BucketUpper(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.count)
+	}
+}

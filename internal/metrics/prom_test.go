@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vswapsim/internal/sim"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.accepted": "serve_jobs_accepted",
+		"hist.fault.major.ns": "hist_fault_major_ns",
+		"already_legal:name":  "already_legal:name",
+		"weird-chars+here":    "weird_chars_here",
+		"9starts.with.digit":  "_9starts_with_digit",
+		"":                    "_",
+		"serve.cache.hits":    "serve_cache_hits",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLineRE matches the two legal non-comment line shapes the renderer
+// emits: "name value" and "name{le=\"...\"} value".
+var promLineRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9eE.+-]+$`)
+
+// TestWritePrometheusFormat renders a populated set and validates every
+// line against the text exposition grammar: TYPE comments name a legal
+// metric, sample lines parse, histograms carry cumulative buckets plus
+// _sum/_count, and the output is sorted (scrape-to-scrape stable).
+func TestWritePrometheusFormat(t *testing.T) {
+	s := NewSet()
+	s.Add("serve.jobs.accepted", 5)
+	s.Add("serve.jobs.rejected.queuefull", 0) // zero-valued counters still render
+	s.Add("serve.cache.hits", 3)
+	h := s.Histogram("serve.job.wall.ns")
+	h.Observe(sim.Duration(3))
+	h.Observe(sim.Duration(100))
+	h.Observe(sim.Duration(100000))
+
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	WritePromGauge(&b, "serve.queue.depth", 2)
+	out := b.String()
+
+	if !strings.Contains(out, "# TYPE serve_jobs_accepted counter\nserve_jobs_accepted 5\n") {
+		t.Errorf("missing counter sample:\n%s", out)
+	}
+	if !strings.Contains(out, "serve_jobs_rejected_queuefull 0") {
+		t.Errorf("zero counter not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE serve_job_wall_ns histogram") {
+		t.Errorf("missing histogram type line:\n%s", out)
+	}
+	if !strings.Contains(out, `serve_job_wall_ns_bucket{le="+Inf"} 3`) ||
+		!strings.Contains(out, "serve_job_wall_ns_count 3") ||
+		!strings.Contains(out, "serve_job_wall_ns_sum 100103") {
+		t.Errorf("histogram totals wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n") {
+		t.Errorf("missing gauge:\n%s", out)
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var prevCum int64 = -1
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("illegal comment line %q", line)
+			}
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			t.Errorf("line does not match exposition grammar: %q", line)
+		}
+		if strings.HasPrefix(line, "serve_job_wall_ns_bucket{") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if v < prevCum {
+				t.Errorf("bucket counts not cumulative: %q after %d", line, prevCum)
+			}
+			prevCum = v
+		}
+	}
+
+	// Deterministic: a second render of the same set is byte-identical.
+	var b2 strings.Builder
+	s.WritePrometheus(&b2)
+	WritePromGauge(&b2, "serve.queue.depth", 2)
+	if b2.String() != out {
+		t.Error("repeated render differs")
+	}
+}

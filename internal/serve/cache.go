@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The result cache stores one file per key: a single JSON header line
+// (version, key, payload checksum, payload length), a newline, then the
+// payload bytes verbatim. Entries are written atomically — temp file in
+// the cache directory, fsync, rename — so a crash mid-write can leave a
+// stray temp file but never a half-written entry under a live name. Reads
+// verify everything the header claims; any mismatch (truncation, flipped
+// bytes, a foreign or renamed entry, an old format version) makes the
+// entry a MISS that Get also deletes, so a corrupted result is recomputed
+// and never served. The cache-corruption tests drive every branch.
+
+const cacheVersion = 1
+
+// entryHeader is the first line of a cache entry file.
+type entryHeader struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	Sum     string `json:"sum_sha256"`
+	Size    int    `json:"size"`
+}
+
+// Cache is a content-addressed result store rooted at one directory.
+// Methods are safe for concurrent use: atomicity comes from rename, and
+// concurrent writers of the same key write identical bytes by definition.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file. Keys are hex (lowercase sha256), so
+// the name needs no escaping; anything else would have failed validation
+// long before reaching the cache.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".entry") }
+
+// Get returns the payload stored under key, or nil on a miss. corrupt
+// reports that an entry file existed but failed verification — the
+// caller counts it and recomputes; the broken file is removed so the
+// recomputed entry can take its place cleanly.
+func (c *Cache) Get(key string) (payload []byte, corrupt bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := verifyEntry(key, data)
+	if !ok {
+		os.Remove(c.path(key))
+		return nil, true
+	}
+	return payload, false
+}
+
+// verifyEntry checks one entry file's bytes against its own header.
+func verifyEntry(key string, data []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var h entryHeader
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		return nil, false
+	}
+	body := data[nl+1:]
+	if h.Version != cacheVersion || h.Key != key || h.Size != len(body) {
+		return nil, false
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != h.Sum {
+		return nil, false
+	}
+	return body, true
+}
+
+// Put stores payload under key atomically: the entry is staged as a temp
+// file in the cache directory, synced, and renamed into place, so readers
+// only ever observe absent or complete entries.
+func (c *Cache) Put(key string, payload []byte) (err error) {
+	sum := sha256.Sum256(payload)
+	head, err := json.Marshal(entryHeader{
+		Version: cacheVersion,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Size:    len(payload),
+	})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-entry-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(append(head, '\n')); err != nil {
+		return err
+	}
+	if _, err = tmp.Write(payload); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const testKey = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := newTestCache(t)
+	payload := []byte(`{"seed":42,"experiments":[{"id":"fig3"}]}`)
+	if err := c.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt := c.Get(testKey)
+	if corrupt {
+		t.Fatal("fresh entry reported corrupt")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch:\n got %q\nwant %q", got, payload)
+	}
+}
+
+func TestCacheMissOnAbsent(t *testing.T) {
+	c := newTestCache(t)
+	if got, corrupt := c.Get(testKey); got != nil || corrupt {
+		t.Fatalf("absent key: got payload=%v corrupt=%v, want nil/false", got, corrupt)
+	}
+}
+
+// corruptions enumerates ways an entry file can rot on disk. Every one
+// must read as a corrupt MISS — never as a payload.
+func TestCacheCorruptionDetected(t *testing.T) {
+	payload := []byte(`{"report":"bytes that must never be served once damaged"}`)
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"truncated payload", func(t *testing.T, path string) {
+			data := readEntry(t, path)
+			writeEntry(t, path, data[:len(data)-7])
+		}},
+		{"truncated to header only", func(t *testing.T, path string) {
+			data := readEntry(t, path)
+			nl := bytes.IndexByte(data, '\n')
+			writeEntry(t, path, data[:nl+1])
+		}},
+		{"flipped payload byte", func(t *testing.T, path string) {
+			data := readEntry(t, path)
+			data[len(data)-2] ^= 0x01
+			writeEntry(t, path, data)
+		}},
+		{"appended garbage", func(t *testing.T, path string) {
+			data := readEntry(t, path)
+			writeEntry(t, path, append(data, []byte("trailing junk")...))
+		}},
+		{"garbage header", func(t *testing.T, path string) {
+			data := readEntry(t, path)
+			nl := bytes.IndexByte(data, '\n')
+			writeEntry(t, path, append([]byte("not json"), data[nl:]...))
+		}},
+		{"missing newline", func(t *testing.T, path string) {
+			writeEntry(t, path, []byte(`{"version":1}`))
+		}},
+		{"empty file", func(t *testing.T, path string) {
+			writeEntry(t, path, nil)
+		}},
+		{"format version bump", func(t *testing.T, path string) {
+			rewriteHeader(t, path, func(h *entryHeader) { h.Version = cacheVersion + 1 })
+		}},
+		{"checksum mismatch in header", func(t *testing.T, path string) {
+			rewriteHeader(t, path, func(h *entryHeader) { h.Sum = strings.Repeat("0", 64) })
+		}},
+		{"size mismatch in header", func(t *testing.T, path string) {
+			rewriteHeader(t, path, func(h *entryHeader) { h.Size++ })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCache(t)
+			if err := c.Put(testKey, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := c.path(testKey)
+			tc.damage(t, path)
+			got, corrupt := c.Get(path2key(path))
+			if got != nil {
+				t.Fatalf("corrupted entry served a payload: %q", got)
+			}
+			if !corrupt {
+				t.Fatal("corruption not reported")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry file not removed")
+			}
+			// Recompute-and-restore must work cleanly after the purge.
+			if err := c.Put(testKey, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, corrupt := c.Get(testKey); corrupt || !bytes.Equal(got, payload) {
+				t.Fatal("cache did not recover after corruption purge")
+			}
+		})
+	}
+}
+
+// TestCacheRejectsRenamedEntry: an entry copied or renamed to a different
+// key's file name fails the header's key check — content addressing is
+// verified, not assumed from the file name.
+func TestCacheRejectsRenamedEntry(t *testing.T) {
+	c := newTestCache(t)
+	if err := c.Put(testKey, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	otherKey := strings.Repeat("b", 64)
+	if err := os.Rename(c.path(testKey), c.path(otherKey)); err != nil {
+		t.Fatal(err)
+	}
+	got, corrupt := c.Get(otherKey)
+	if got != nil || !corrupt {
+		t.Fatalf("renamed entry served under wrong key: payload=%v corrupt=%v", got, corrupt)
+	}
+}
+
+// TestCachePutAtomic: no partially-written entry is ever visible under a
+// live name — the only non-temp file after Put is the complete entry.
+func TestCachePutAtomic(t *testing.T) {
+	c := newTestCache(t)
+	if err := c.Put(testKey, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("stray temp file %s after successful Put", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly 1 entry file, found %d", len(entries))
+	}
+}
+
+// TestCacheOverwriteIdempotent: re-putting the same key (identical bytes,
+// by key construction) atomically replaces the entry.
+func TestCacheOverwriteIdempotent(t *testing.T) {
+	c := newTestCache(t)
+	payload := []byte("same bytes")
+	for i := 0; i < 3; i++ {
+		if err := c.Put(testKey, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, corrupt := c.Get(testKey)
+	if corrupt || !bytes.Equal(got, payload) {
+		t.Fatal("overwritten entry unreadable")
+	}
+}
+
+func readEntry(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeEntry(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rewriteHeader re-signs an entry with a doctored header (keeping the sum
+// consistent with the payload unless the mutation targets the sum itself,
+// so the doctored field is what trips verification).
+func rewriteHeader(t *testing.T, path string, mutate func(*entryHeader)) {
+	t.Helper()
+	data := readEntry(t, path)
+	nl := bytes.IndexByte(data, '\n')
+	var h entryHeader
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&h)
+	head, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEntry(t, path, append(append(head, '\n'), data[nl+1:]...))
+}
+
+// path2key recovers the key from an entry path (test convenience).
+func path2key(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ".entry")
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the thin HTTP client behind the CLIs' -server flag: submit a
+// job, poll to terminal, hand back the JobStatus. It retries 429s honoring
+// Retry-After — the admission-control contract from the other side.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+	// PollInterval spaces GET /jobs/{id} polls (default 100ms).
+	PollInterval time.Duration
+	// MaxSubmitRetries bounds 429 retries on submit (default 10).
+	MaxSubmitRetries int
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 100 * time.Millisecond
+}
+
+// decodeStatus reads one JobStatus response body; non-2xx bodies decode
+// into the server's error envelope.
+func decodeStatus(resp *http.Response) (*JobStatus, error) {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: read response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		var e errorBody
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("serve client: decode status: %w", err)
+	}
+	return &st, nil
+}
+
+// Submit posts one job. On 429 it waits out the server's Retry-After hint
+// (bounded by MaxSubmitRetries) before retrying; every other non-2xx is a
+// terminal error.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	retries := c.MaxSubmitRetries
+	if retries <= 0 {
+		retries = 10
+	}
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(hreq)
+		if err != nil {
+			return nil, fmt.Errorf("serve client: submit: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			wait := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		st, derr := decodeStatus(resp)
+		resp.Body.Close()
+		return st, derr
+	}
+}
+
+// Job fetches one job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: get job: %w", err)
+	}
+	defer resp.Body.Close()
+	return decodeStatus(resp)
+}
+
+// Wait polls the job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-time.After(c.pollInterval()):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal status — the whole
+// -server client mode in one call. Cache hits return immediately (the
+// submit response is already terminal).
+func (c *Client) Run(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if terminal(st.State) {
+		return st, nil
+	}
+	return c.Wait(ctx, st.JobID)
+}

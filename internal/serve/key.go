@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"vswapsim/internal/fault"
+	"vswapsim/internal/swapback"
+)
+
+// The cache key is a SHA-256 over every knob that can influence a job's
+// output bytes, plus the code fingerprint of the binary that produced
+// them. Knobs are canonicalized before hashing (fault plans through
+// ParsePlan→String, backend/policy through their parsers), so spellings
+// that mean the same run ("disk-lat:0.05" vs "disk-lat:0.05:2ms", "" vs
+// "hdd") share one entry.
+//
+// Two knobs are deliberately EXCLUDED, and the key tests pin both:
+//   - Parallel: results are byte-identical at any parallelism (the golden
+//     and equivalence suites enforce it), so keying on it would fragment
+//     the cache without ever changing a byte.
+//   - CellTimeoutMS: wall-clock kills are nondeterministic, and a job
+//     that breached its wall budget (or failed any other way) is never
+//     cached — so the timeout cannot influence any bytes that reach the
+//     cache.
+const keyVersion = "vswapsimd-cache-v1"
+
+// Key computes the content-addressed cache key for a request under the
+// given code fingerprint.
+func Key(req JobRequest, fingerprint string) string {
+	req = req.normalize()
+	h := sha256.New()
+	field := func(s string) {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	field(keyVersion)
+	field("code=" + fingerprint)
+	if req.Scenario != "" {
+		sum := sha256.Sum256([]byte(req.Scenario))
+		field("scenario=" + hex.EncodeToString(sum[:]))
+	} else {
+		field("registry=" + req.ID)
+	}
+	field(fmt.Sprintf("seed=%d", req.Seed))
+	field(fmt.Sprintf("scale=%g", req.Scale))
+	field(fmt.Sprintf("quick=%v", req.Quick))
+	field(fmt.Sprintf("tracering=%d", req.TraceRing))
+	if plan, err := fault.ParsePlan(req.Faults); err == nil {
+		field("faults=" + plan.String())
+	} else {
+		field("faults=!" + req.Faults) // unvalidated requests never reach the cache
+	}
+	if kind, err := swapback.ParseKind(req.Swapback); err == nil {
+		field("swapback=" + kind.String())
+	} else {
+		field("swapback=!" + req.Swapback)
+	}
+	if pol, err := swapback.ParsePolicy(req.SwapPolicy); err == nil {
+		field("swappolicy=" + pol.String())
+	} else {
+		field("swappolicy=!" + req.SwapPolicy)
+	}
+	field(fmt.Sprintf("auditevery=%d", req.AuditEvery))
+	field(fmt.Sprintf("maxevents=%d", req.MaxEvents))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var (
+	fingerprintOnce sync.Once
+	fingerprintVal  string
+)
+
+// CodeFingerprint identifies the code that computes results: the SHA-256
+// of the running executable, truncated for key brevity. Rebuilding the
+// binary therefore invalidates every cached entry — a version-mismatched
+// entry is simply never looked up, so it can never be served. When the
+// executable cannot be read (platform oddities), the Go toolchain version
+// is the (coarser) fallback.
+func CodeFingerprint() string {
+	fingerprintOnce.Do(func() {
+		fingerprintVal = "go:" + runtime.Version()
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fingerprintVal = "exe:" + hex.EncodeToString(h.Sum(nil))[:32]
+	})
+	return fingerprintVal
+}

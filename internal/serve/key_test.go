@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+// jobRequestFields lists JobRequest's field names by reflection, so the
+// accounting test notices new fields automatically.
+func jobRequestFields() []string {
+	t := reflect.TypeOf(JobRequest{})
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		out = append(out, t.Field(i).Name)
+	}
+	return out
+}
+
+const testFingerprint = "test:fingerprint"
+
+// baseKeyRequest is the reference point every knob test perturbs.
+func baseKeyRequest() JobRequest {
+	return JobRequest{ID: "fig3"}
+}
+
+// TestKeyCoversEveryOutputKnob enumerates every knob that can influence a
+// job's output bytes and asserts each one, perturbed alone, changes the
+// cache key. A knob missing from this list (or from Key) would let two
+// different runs share one cache entry — the worst failure mode a result
+// cache can have. Keep this table in sync with JobRequest: the
+// completeness check below fails when a new field is added without a
+// decision here.
+func TestKeyCoversEveryOutputKnob(t *testing.T) {
+	base := Key(baseKeyRequest(), testFingerprint)
+	perturbations := map[string]JobRequest{
+		"id":         {ID: "fig4"},
+		"scenario":   {Scenario: "scenario: x\ntitle: t\nmode: single\nfleet: {memory_mb: 512, actual_mb: 100}\nschemes: [{name: s}]\nworkload: {kind: seqread, file_mb: 10}\n"},
+		"seed":       {ID: "fig3", Seed: 7},
+		"scale":      {ID: "fig3", Scale: 2.0},
+		"quick":      {ID: "fig3", Quick: true},
+		"tracering":  {ID: "fig3", TraceRing: 64},
+		"faults":     {ID: "fig3", Faults: "disk-read-err:0.01"},
+		"swapback":   {ID: "fig3", Swapback: "ssd"},
+		"swappolicy": {ID: "fig3", SwapPolicy: "tiered"},
+		"auditevery": {ID: "fig3", AuditEvery: 100},
+		"maxevents":  {ID: "fig3", MaxEvents: 1 << 20},
+	}
+	seen := map[string]string{"base": base}
+	for name, req := range perturbations {
+		k := Key(req, testFingerprint)
+		if k == base {
+			t.Errorf("perturbing %q did not change the cache key", name)
+		}
+		for prev, pk := range seen {
+			if pk == k {
+				t.Errorf("perturbations %q and %q collide", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+	// The code fingerprint is a key input too: a rebuilt binary must miss.
+	if k := Key(baseKeyRequest(), "test:other"); k == base {
+		t.Error("changing the code fingerprint did not change the cache key")
+	}
+}
+
+// TestKeyFieldAccounting fails when JobRequest grows a field that neither
+// the perturbation table above nor the exclusion list below accounts for.
+func TestKeyFieldAccounting(t *testing.T) {
+	accounted := map[string]bool{
+		// Key inputs (perturbation-tested above):
+		"ID": true, "Scenario": true, "Seed": true, "Scale": true,
+		"Quick": true, "TraceRing": true, "Faults": true,
+		"Swapback": true, "SwapPolicy": true, "AuditEvery": true,
+		"MaxEvents": true,
+		// Deliberate exclusions (collision-tested below):
+		"Parallel": true, "CellTimeoutMS": true,
+	}
+	for _, f := range jobRequestFields() {
+		if !accounted[f] {
+			t.Errorf("JobRequest.%s is not accounted for in the cache-key tests: add it to Key (and the perturbation table) or document its exclusion", f)
+		}
+	}
+}
+
+// TestKeyExcludesExecutionHints pins the deliberate collisions: Parallel
+// and CellTimeoutMS must NOT enter the key. Parallelism never changes the
+// output bytes (the golden and equivalence suites prove it), and
+// timed-out runs are never cached, so keying on either would only
+// fragment the cache.
+func TestKeyExcludesExecutionHints(t *testing.T) {
+	base := Key(baseKeyRequest(), testFingerprint)
+	for name, req := range map[string]JobRequest{
+		"parallel=1":          {ID: "fig3", Parallel: 1},
+		"parallel=8":          {ID: "fig3", Parallel: 8},
+		"celltimeout_ms=5000": {ID: "fig3", CellTimeoutMS: 5000},
+		"both":                {ID: "fig3", Parallel: 4, CellTimeoutMS: 250},
+	} {
+		if k := Key(req, testFingerprint); k != base {
+			t.Errorf("%s changed the cache key: execution hints must not fragment the cache", name)
+		}
+	}
+}
+
+// TestKeyCanonicalization: spellings that mean the same run share a key.
+func TestKeyCanonicalization(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b JobRequest
+	}{
+		{"fault plan default duration",
+			JobRequest{ID: "fig3", Faults: "disk-lat:0.05"},
+			JobRequest{ID: "fig3", Faults: "disk-lat:0.05:2ms"}},
+		{"default backend spelled out",
+			JobRequest{ID: "fig3"},
+			JobRequest{ID: "fig3", Swapback: "hdd"}},
+		{"default policy spelled out",
+			JobRequest{ID: "fig3"},
+			JobRequest{ID: "fig3", SwapPolicy: "writeback"}},
+		{"default seed spelled out",
+			JobRequest{ID: "fig3"},
+			JobRequest{ID: "fig3", Seed: 42}},
+		{"default scale spelled out",
+			JobRequest{ID: "fig3"},
+			JobRequest{ID: "fig3", Scale: 1.0}},
+	}
+	for _, p := range pairs {
+		if Key(p.a, testFingerprint) != Key(p.b, testFingerprint) {
+			t.Errorf("%s: equal-meaning requests got different keys", p.name)
+		}
+	}
+}
+
+// TestKeyIsHex: keys must be lowercase sha256 hex — the cache uses them
+// as file names without escaping.
+func TestKeyIsHex(t *testing.T) {
+	k := Key(baseKeyRequest(), testFingerprint)
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(k) {
+		t.Fatalf("key %q is not 64 lowercase hex chars", k)
+	}
+}
+
+// TestCodeFingerprint: stable within a process, and either a real
+// executable hash or the toolchain fallback.
+func TestCodeFingerprint(t *testing.T) {
+	fp := CodeFingerprint()
+	if fp != CodeFingerprint() {
+		t.Fatal("CodeFingerprint is not stable")
+	}
+	exeForm := regexp.MustCompile(`^exe:[0-9a-f]{32}$`)
+	goForm := regexp.MustCompile(`^go:go[0-9.]+`)
+	if !exeForm.MatchString(fp) && !goForm.MatchString(fp) {
+		t.Fatalf("unexpected fingerprint form %q", fp)
+	}
+}

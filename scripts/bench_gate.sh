@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ids=${IDS:-fig5,fig11,backendN,clusterN}
+ids=${IDS:-fig5,fig11,backendN,clusterN,fleetN}
 threshold=${THRESHOLD:-1.15}
 fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
@@ -33,12 +33,13 @@ for id in "${id_list[@]}"; do
   fi
   if [ "$old_fp" != "$new_fp" ]; then
     echo "bench_gate: $id report fingerprint drifted: $new_fp != checked-in $old_fp" >&2
+    echo "bench_gate: $id baseline ${old_ms}ms, measured ${new_ms}ms (ignored: fingerprint gates first)" >&2
     echo "bench_gate: if the output change is intentional, regenerate the goldens and scripts/bench.sh" >&2
     fail=1
     continue
   fi
   if awk -v new="$new_ms" -v old="$old_ms" -v t="$threshold" 'BEGIN { exit !(new > old * t) }'; then
-    echo "bench_gate: $id regressed: best ${new_ms}ms vs checked-in ${old_ms}ms (budget x$threshold)" >&2
+    echo "bench_gate: $id regressed: baseline ${old_ms}ms, measured ${new_ms}ms (budget x$threshold)" >&2
     fail=1
   else
     echo "bench_gate: $id ok: best ${new_ms}ms vs checked-in ${old_ms}ms (budget x$threshold)"
